@@ -1,0 +1,41 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "mtsched/dag/generator.hpp"
+#include "mtsched/exp/case_study.hpp"
+#include "mtsched/exp/lab.hpp"
+#include "mtsched/exp/report.hpp"
+
+namespace bench {
+
+/// Experiment seed shared by all figure benches so their "cluster runs"
+/// see the same weather.
+inline constexpr std::uint64_t kExpSeed = 42;
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << std::string(74, '=') << '\n'
+            << title << '\n'
+            << "reproduces: " << paper_ref << '\n'
+            << std::string(74, '=') << "\n\n";
+}
+
+/// Runs one model's case study over the 54-DAG Table I suite and prints
+/// the paper-style relative-makespan figure for one matrix dimension.
+inline mtsched::exp::CaseStudyResult run_and_render(
+    const mtsched::exp::Lab& lab, mtsched::models::CostModelKind kind,
+    int matrix_dim, const std::string& figure_title) {
+  const auto suite = mtsched::dag::generate_table1_suite();
+  const mtsched::exp::CaseStudy study(lab.model(kind), lab.rig());
+  auto result = study.run_suite(suite, kExpSeed);
+  const auto subset = result.with_dim(matrix_dim);
+  std::cout << mtsched::exp::render_relative_makespan_figure(subset,
+                                                             figure_title)
+            << '\n';
+  return result;
+}
+
+}  // namespace bench

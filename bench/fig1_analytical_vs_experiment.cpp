@@ -1,0 +1,34 @@
+// Figure 1: HCPA makespan relative to MCPA under the purely ANALYTICAL
+// simulation model, compared against the experiment (TGrid emulator),
+// n = 2000. The paper finds the simulation verdict wrong for 16 of 27
+// DAGs (~60 %) at n = 2000 and 7 of 27 (~26 %) at n = 3000 — analytical
+// simulation "simply cannot be used to predict the relative performance
+// of the two scheduling algorithms".
+#include "bench_util.hpp"
+
+int main() {
+  using namespace mtsched;
+  bench::banner(
+      "Figure 1 — HCPA vs MCPA relative makespan, analytical model",
+      "Hunold/Casanova/Suter 2011, Figure 1 (and the n = 3000 result "
+      "quoted in Section V-B)");
+
+  exp::Lab lab;
+  const auto result = bench::run_and_render(
+      lab, models::CostModelKind::Analytical, 2000,
+      "Figure 1: analytical simulation vs experiment, n = 2000");
+
+  const auto n2000 = result.with_dim(2000);
+  const auto n3000 = result.with_dim(3000);
+  const int flips2000 = exp::count_flips(n2000);
+  const int flips3000 = exp::count_flips(n3000);
+
+  std::cout << "paper:    n = 2000: 16/27 verdict flips (~60 %); "
+               "n = 3000: 7/27 (~26 %)\n";
+  std::cout << "measured: n = 2000: " << flips2000 << "/" << n2000.size()
+            << " verdict flips; n = 3000: " << flips3000 << "/"
+            << n3000.size() << "\n\n";
+  std::cout << "CSV (n = 2000):\n"
+            << exp::relative_makespan_csv(n2000) << '\n';
+  return 0;
+}

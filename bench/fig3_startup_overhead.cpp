@@ -1,0 +1,45 @@
+// Figure 3: task startup overhead for allocations p = 1..32, measured as
+// the wall time of a no-op application, averaged over 20 trials. The
+// paper's curve runs from ~0.8 s at p = 1 to ~1.6 s, and — surprisingly —
+// is not monotonically increasing in p.
+#include "bench_util.hpp"
+#include "mtsched/core/table.hpp"
+#include "mtsched/machine/java_cluster.hpp"
+#include "mtsched/profiling/profiler.hpp"
+#include "mtsched/stats/ascii.hpp"
+#include "mtsched/stats/regression.hpp"
+#include "mtsched/tgrid/emulator.hpp"
+
+int main() {
+  using namespace mtsched;
+  bench::banner("Figure 3 — task startup overhead vs allocation size",
+                "Hunold/Casanova/Suter 2011, Figure 3 (20 trials per p)");
+
+  machine::JavaClusterModel java;
+  const tgrid::TGridEmulator rig(java, java.platform_spec());
+  const profiling::Profiler profiler(rig);
+
+  std::vector<int> ps;
+  for (int p = 1; p <= 32; ++p) ps.push_back(p);
+  const auto overhead = profiler.startup_profile(ps, /*trials=*/20,
+                                                 /*seed=*/bench::kExpSeed);
+
+  std::vector<double> x(ps.begin(), ps.end());
+  std::cout << stats::render_series(x, overhead, "p", "startup[s]") << '\n';
+
+  int decreases = 0;
+  for (std::size_t i = 1; i < overhead.size(); ++i) {
+    if (overhead[i] < overhead[i - 1]) ++decreases;
+  }
+  std::cout << "range: " << core::fmt(overhead.front(), 2) << " s (p=1) .. "
+            << core::fmt(overhead.back(), 2) << " s (p=32)\n";
+  std::cout << "non-monotonic steps (decreases): " << decreases
+            << "  (paper: the average startup time is not monotonically "
+               "increasing)\n";
+
+  const auto fit = stats::fit_linear(x, overhead);
+  std::cout << "linear fit a*p + b: a = " << core::fmt(fit.a, 3)
+            << ", b = " << core::fmt(fit.b, 3)
+            << "   (paper Table II: a = 0.03, b = 0.65)\n";
+  return 0;
+}

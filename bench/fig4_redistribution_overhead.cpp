@@ -1,0 +1,56 @@
+// Figure 4: data redistribution protocol overhead versus the number of
+// sending (p_src) and receiving (p_dst) processes, measured with mostly
+// empty matrices (3 trials). The paper's surface shows the overhead
+// depends mostly on p_dst, which justifies collapsing the table over
+// p_src for the refined simulator.
+#include "bench_util.hpp"
+#include "mtsched/core/table.hpp"
+#include "mtsched/machine/java_cluster.hpp"
+#include "mtsched/profiling/profiler.hpp"
+#include "mtsched/stats/ascii.hpp"
+#include "mtsched/stats/regression.hpp"
+#include "mtsched/tgrid/emulator.hpp"
+
+int main() {
+  using namespace mtsched;
+  bench::banner(
+      "Figure 4 — redistribution overhead vs (p_src, p_dst)",
+      "Hunold/Casanova/Suter 2011, Figure 4 (3 trials per pair)");
+
+  machine::JavaClusterModel java;
+  const tgrid::TGridEmulator rig(java, java.platform_spec());
+  const profiling::Profiler profiler(rig);
+  const auto surface = profiler.redist_surface(/*trials=*/3,
+                                               /*seed=*/bench::kExpSeed);
+
+  // Surface slices: rows at a few p_src values across all p_dst.
+  std::cout << "overhead [ms], rows: p_src, columns: p_dst\n\n      ";
+  for (int d = 1; d <= 32; d += 4) std::cout << "  d=" << d << (d < 10 ? " " : "");
+  std::cout << '\n';
+  for (int s : {1, 4, 8, 16, 24, 32}) {
+    std::cout << "s=" << s << (s < 10 ? "  " : " ") << "  ";
+    for (int d = 1; d <= 32; d += 4) {
+      std::cout << core::fmt(surface(s - 1, d - 1) * 1000.0, 0) << "   ";
+    }
+    std::cout << '\n';
+  }
+  std::cout << '\n';
+
+  // Show the dominance of p_dst (the paper's observation).
+  const auto by_dst = profiling::Profiler::average_over_src(surface);
+  std::vector<double> x, by_src(32, 0.0);
+  for (int i = 1; i <= 32; ++i) x.push_back(i);
+  for (int s = 0; s < 32; ++s) {
+    for (int d = 0; d < 32; ++d) by_src[s] += surface(s, d) / 32.0;
+  }
+  const auto fit_dst = stats::fit_linear(x, by_dst);
+  const auto fit_src = stats::fit_linear(x, by_src);
+  std::cout << "overhead averaged over p_src, vs p_dst:\n"
+            << stats::render_series(x, by_dst, "p_dst", "t[s]") << '\n';
+  std::cout << "slope vs p_dst: " << core::fmt(fit_dst.a * 1000.0, 2)
+            << " ms/proc;  slope vs p_src: "
+            << core::fmt(fit_src.a * 1000.0, 2) << " ms/proc\n";
+  std::cout << "(paper: the overhead depends mostly on p(dst); Table II "
+               "fit 7.88 ms/proc + 108.58 ms)\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 6: fitting the empirical execution-time model for the Java 1-D
+// matrix multiplication.
+//   Left:  naive powers-of-two sampling (p = 1,2,4,8,16,..) is ruined by
+//          the outliers at p = 8 and p = 16 for n = 3000.
+//   Right: the final model replaces 8 and 16 by 7 and 15
+//          (p = {2,4,7,15} hyperbolic + {15,24,31} linear) and fits well
+//          for both n = 2000 and n = 3000.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "mtsched/core/table.hpp"
+#include "mtsched/machine/java_cluster.hpp"
+#include "mtsched/profiling/regression_builder.hpp"
+#include "mtsched/stats/ascii.hpp"
+#include "mtsched/tgrid/emulator.hpp"
+
+namespace {
+
+using namespace mtsched;
+
+double rmse_vs_truth(const machine::JavaClusterModel& java, int n,
+                     const stats::PiecewiseFit& fit, bool skip_outliers) {
+  double ss = 0.0;
+  int count = 0;
+  for (int p = 2; p <= 32; ++p) {
+    if (skip_outliers && (p == 8 || p == 16)) continue;
+    const double truth =
+        java.exec_time_mean(dag::TaskKernel::MatMul, n, p);
+    const double pred = fit.eval(p);
+    ss += (pred - truth) * (pred - truth);
+    ++count;
+  }
+  return std::sqrt(ss / count);
+}
+
+void show_fit(const machine::JavaClusterModel& java, int n,
+              const profiling::EmpiricalBuild& build, const char* label) {
+  const auto& fit = build.fits.exec.at({dag::TaskKernel::MatMul, n});
+  const auto& data = build.exec_data.at({dag::TaskKernel::MatMul, n});
+  std::cout << label << ", n = " << n << ":  " << fit.describe() << '\n';
+  std::cout << "  sampled points (p -> measured s, fitted s):\n";
+  for (std::size_t i = 0; i < data.p.size(); ++i) {
+    std::cout << "    p=" << core::fmt(data.p[i], 0) << "  measured "
+              << core::fmt(data.seconds[i], 2) << "  fit "
+              << core::fmt(fit.eval(data.p[i]), 2) << '\n';
+  }
+  std::cout << "  RMSE vs true mean curve (all p): "
+            << core::fmt(rmse_vs_truth(java, n, fit, false), 2)
+            << " s;  excluding the outliers at 8/16: "
+            << core::fmt(rmse_vs_truth(java, n, fit, true), 2) << " s\n\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 6 — regression fits with and without the p = 8/16 outliers",
+      "Hunold/Casanova/Suter 2011, Figure 6 (left: outliers, right: final "
+      "model)");
+
+  machine::JavaClusterModel java;
+  const tgrid::TGridEmulator rig(java, java.platform_spec());
+  const profiling::Profiler profiler(rig);
+  const profiling::RegressionBuilder builder(profiler);
+  profiling::ProfileConfig cfg;
+
+  // The measured curve itself, to make the outliers visible.
+  std::cout << "measured mean execution time, 1D MM, n = 3000 "
+               "(note the bumps at p = 8 and p = 16):\n";
+  std::vector<double> x, y;
+  for (int p = 2; p <= 32; ++p) {
+    x.push_back(p);
+    y.push_back(java.exec_time_mean(dag::TaskKernel::MatMul, 3000, p));
+  }
+  std::cout << stats::render_series(x, y, "p", "t[s]") << '\n';
+
+  const auto naive = builder.build(cfg, profiling::SamplePlan::naive());
+  const auto robust = builder.build(cfg, profiling::SamplePlan::robust());
+
+  std::cout << "-- left: naive powers-of-two sampling (hits the outliers) "
+               "--\n\n";
+  show_fit(java, 3000, naive, "naive plan {1,2,4,8,16}+{16,24,32}");
+
+  std::cout << "-- right: final model, outliers side-stepped (8->7, 16->15) "
+               "--\n\n";
+  show_fit(java, 2000, robust, "robust plan {2,4,7,15}+{15,24,31}");
+  show_fit(java, 3000, robust, "robust plan {2,4,7,15}+{15,24,31}");
+
+  std::cout << "paper: the naive fit for n = 3000 is of poor quality; the "
+               "outlier-avoiding fit is good\n\n";
+
+  // Extension: the paper's conclusion suggests "a larger number of
+  // measurements ... and/or identify outliers". Denser sampling plus the
+  // outlier-robust Theil-Sen estimator needs no hand-picked points.
+  profiling::SamplePlan dense;
+  dense.mm_small_p = {2, 3, 4, 5, 6, 8, 10, 12, 14, 16};
+  dense.mm_large_p = {16, 20, 24, 28, 32};
+  dense.add_p = {2, 4, 8, 16, 32};
+  dense.overhead_p = {1, 16, 32};
+  dense.method = profiling::FitMethod::TheilSen;
+  const auto rescued = builder.build(cfg, dense);
+  std::cout << "-- extension: denser samples (outliers included) + "
+               "Theil-Sen --\n\n";
+  show_fit(java, 3000, rescued, "dense plan + Theil-Sen");
+  std::cout << "No manual point selection: the robust estimator keeps the "
+               "p = 8/16 outliers\nfrom bending the fit. (On this machine "
+               "the residual error is dominated by the\nefficiency ripple, "
+               "which no two-coefficient model can capture.)\n";
+  return 0;
+}

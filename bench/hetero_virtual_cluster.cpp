@@ -1,0 +1,88 @@
+// Heterogeneous platforms: speed-blind scheduling vs HCPA's virtual-
+// cluster homogenization (extension; the setting HCPA was designed for in
+// the paper's reference [12]).
+//
+// For increasing speed skew, an HCPA allocation is mapped two ways onto a
+// 32-node cluster whose node speeds spread around the same mean:
+//   * speed-blind: pretend the cluster is homogeneous (P = 32, classic
+//     EST mapping) — fast and slow nodes get mixed freely, and every
+//     mixed set runs at its slowest member's pace;
+//   * virtual cluster: allocate on floor(total/reference) virtual
+//     processors, translate each allocation to physical nodes with enough
+//     *discounted* aggregate speed, preferring similar-speed groups.
+// Both schedules then run on the emulated heterogeneous cluster.
+#include "bench_util.hpp"
+#include "mtsched/core/table.hpp"
+#include "mtsched/machine/java_cluster.hpp"
+#include "mtsched/models/analytical.hpp"
+#include "mtsched/sched/allocation.hpp"
+#include "mtsched/sched/hetero.hpp"
+#include "mtsched/sched/mapping.hpp"
+#include "mtsched/stats/summary.hpp"
+#include "mtsched/tgrid/emulator.hpp"
+
+int main() {
+  using namespace mtsched;
+  bench::banner("Heterogeneity — speed-blind vs virtual-cluster scheduling",
+                "extension; HCPA's homogenization idea (paper ref. [12])");
+
+  const auto suite = dag::generate_table1_suite();
+  machine::JavaClusterConfig mcfg;  // reference machine behaviour
+  const machine::JavaClusterModel machine_model(mcfg);
+
+  core::TextTable t;
+  t.set_header({"skew (max/min)", "blind mean [s]", "virtual mean [s]",
+                "mean gain %", "virtual wins"});
+  for (double skew : {1.0, 2.0, 4.0, 8.0}) {
+    auto spec = machine_model.platform_spec();
+    if (skew > 1.0) {
+      // Speeds spread uniformly in [lo, lo*skew] with mean = reference.
+      const double ref = spec.node.flops;
+      const double lo = 2.0 * ref / (1.0 + skew);
+      auto hetero = platform::heterogeneous_cluster(
+          spec.num_nodes, lo, lo * skew, /*seed=*/5);
+      spec.node_speeds = hetero.node_speeds;
+      // Keep the reference at the true mean speed.
+      spec.node.flops = hetero.node.flops;
+    }
+    const tgrid::TGridEmulator rig(machine_model, spec);
+    const models::AnalyticalModel model(spec);
+    const models::SchedCostAdapter cost(model);
+    const sched::HcpaAllocator hcpa;
+    const sched::VirtualCluster vc(spec);
+    const sched::HeteroListMapper hetero_mapper(spec);
+
+    std::vector<double> blind_mk, virt_mk, gains;
+    int virt_wins = 0;
+    for (std::size_t i = 0; i < suite.size(); i += 3) {
+      const auto& inst = suite[i];
+      // Speed-blind: P = node count, plain EST mapping.
+      const auto blind_alloc = hcpa.allocate(inst.graph, cost, spec.num_nodes);
+      const auto blind = sched::ListMapper{}.map(inst.graph, blind_alloc,
+                                                 cost, spec.num_nodes);
+      // Virtual cluster: allocate on virtual procs, translate.
+      const auto valloc =
+          hcpa.allocate(inst.graph, cost, vc.virtual_procs());
+      const auto virt = hetero_mapper.map(inst.graph, valloc, cost);
+
+      const double mb = rig.makespan(inst.graph, blind, bench::kExpSeed);
+      const double mv = rig.makespan(inst.graph, virt, bench::kExpSeed);
+      blind_mk.push_back(mb);
+      virt_mk.push_back(mv);
+      gains.push_back((mb - mv) / mb * 100.0);
+      if (mv < mb) ++virt_wins;
+    }
+    t.add_row({core::fmt(skew, 0), core::fmt(stats::mean(blind_mk), 1),
+               core::fmt(stats::mean(virt_mk), 1),
+               core::fmt(stats::mean(gains), 1),
+               std::to_string(virt_wins) + "/" +
+                   std::to_string(blind_mk.size())});
+  }
+  std::cout << t.render() << '\n';
+  std::cout << "With no skew the two mappings coincide (gain ~ 0). As the "
+               "spread grows,\n"
+            << "speed-blind sets increasingly run at their slowest member's "
+               "pace and the\n"
+            << "virtual-cluster translation pulls ahead.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Microbenchmarks of the scheduling algorithms. CPA's selling point in
+// the literature is its low computational complexity — these benches keep
+// the whole two-step pipeline (allocation + mapping) measurably cheap on
+// Table I instances and on much larger random DAGs.
+#include <benchmark/benchmark.h>
+
+#include "mtsched/dag/generator.hpp"
+#include "mtsched/exp/lab.hpp"
+#include "mtsched/models/analytical.hpp"
+#include "mtsched/sched/allocation.hpp"
+#include "mtsched/sched/mapping.hpp"
+
+namespace {
+
+using namespace mtsched;
+
+dag::GeneratedDag big_dag(int tasks, std::uint64_t seed) {
+  dag::DagGenParams p;
+  p.num_tasks = tasks;
+  p.width = 8;
+  p.add_ratio = 0.5;
+  p.matrix_dim = 2000;
+  p.seed = seed;
+  return dag::generate_random_dag(p);
+}
+
+void BM_Allocation(benchmark::State& state, const std::string& algo_name) {
+  const auto inst = big_dag(static_cast<int>(state.range(0)), 3);
+  const models::AnalyticalModel model(platform::bayreuth32());
+  const models::SchedCostAdapter cost(model);
+  const auto algo = sched::make_allocator(algo_name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo->allocate(inst.graph, cost, 32));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK_CAPTURE(BM_Allocation, cpa, std::string("CPA"))
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(200);
+BENCHMARK_CAPTURE(BM_Allocation, hcpa, std::string("HCPA"))
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(200);
+BENCHMARK_CAPTURE(BM_Allocation, mcpa, std::string("MCPA"))
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(200);
+
+void BM_TwoStepPipeline(benchmark::State& state) {
+  const auto inst = big_dag(static_cast<int>(state.range(0)), 5);
+  const models::AnalyticalModel model(platform::bayreuth32());
+  const models::SchedCostAdapter cost(model);
+  const sched::HcpaAllocator hcpa;
+  const sched::TwoStepScheduler scheduler(hcpa, cost, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(inst.graph));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TwoStepPipeline)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_DagGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(big_dag(static_cast<int>(state.range(0)),
+                                     seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DagGeneration)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Microbenchmarks of the simulation kernel: the max-min fairness solver
+// and end-to-end fluid-engine throughput. These guard the scalability
+// claim that makes flow-level simulation attractive in the first place
+// (minutes of simulation for hours of cluster time).
+#include <benchmark/benchmark.h>
+
+#include "mtsched/core/rng.hpp"
+#include "mtsched/platform/cluster.hpp"
+#include "mtsched/simcore/cluster_sim.hpp"
+#include "mtsched/simcore/engine.hpp"
+#include "mtsched/simcore/maxmin.hpp"
+
+namespace {
+
+using namespace mtsched;
+
+simcore::MaxMinProblem random_problem(int resources, int activities,
+                                      std::uint64_t seed) {
+  core::Rng rng(seed);
+  simcore::MaxMinProblem p;
+  for (int r = 0; r < resources; ++r) {
+    p.capacities.push_back(rng.uniform(10.0, 1000.0));
+  }
+  for (int a = 0; a < activities; ++a) {
+    std::vector<simcore::Use> uses;
+    const int k = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    for (int i = 0; i < k; ++i) {
+      uses.push_back(simcore::Use{
+          static_cast<std::size_t>(rng.uniform_int(0, resources - 1)),
+          rng.uniform(0.1, 10.0)});
+    }
+    p.activities.push_back(std::move(uses));
+  }
+  return p;
+}
+
+void BM_MaxMinSolver(benchmark::State& state) {
+  const auto problem = random_problem(static_cast<int>(state.range(0)),
+                                      static_cast<int>(state.range(1)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simcore::solve_max_min(problem));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(problem.activities.size()));
+}
+BENCHMARK(BM_MaxMinSolver)
+    ->Args({16, 32})
+    ->Args({64, 128})
+    ->Args({97, 512})
+    ->Args({256, 1024});
+
+void BM_EngineTimerChurn(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    simcore::Engine e;
+    for (std::int64_t i = 0; i < n; ++i) {
+      e.submit_timer(static_cast<double>(i % 97) + 0.5, nullptr);
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.now());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineTimerChurn)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_PtaskStorm(benchmark::State& state) {
+  const auto spec = platform::bayreuth32();
+  const int tasks = static_cast<int>(state.range(0));
+  core::Rng rng(11);
+  for (auto _ : state) {
+    simcore::Engine e;
+    simcore::ClusterSim cs(e, spec);
+    for (int i = 0; i < tasks; ++i) {
+      const int p = 1 + static_cast<int>(rng.uniform_int(0, 7));
+      simcore::Ptask t;
+      for (int r = 0; r < p; ++r) {
+        t.host_of_rank.push_back(static_cast<int>(
+            rng.uniform_int(0, spec.num_nodes - 1)));
+      }
+      t.flops.assign(static_cast<std::size_t>(p), 1e9);
+      cs.submit_ptask(t, nullptr);
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.now());
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_PtaskStorm)->Arg(32)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

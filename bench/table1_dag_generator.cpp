@@ -1,0 +1,53 @@
+// Table I: the random DAG generator's parameter space, plus structural
+// statistics of the 54 generated instances.
+#include "bench_util.hpp"
+#include "mtsched/core/table.hpp"
+#include "mtsched/stats/summary.hpp"
+
+int main() {
+  using namespace mtsched;
+  bench::banner("Table I — parameters used for generating random DAGs",
+                "Hunold/Casanova/Suter 2011, Table I (54 DAG instances)");
+
+  core::TextTable params;
+  params.set_header({"parameter", "values"});
+  params.add_row({"number of tasks", "10"});
+  params.add_row({"number of input matrices (DAG width)", "2, 4, 8"});
+  params.add_row({"ratio addition / multiplication tasks", "0.5, 0.75, 1.0"});
+  params.add_row({"matrix size (# elements per dimension)", "2000, 3000"});
+  params.add_row({"number of samples", "3"});
+  params.add_row({"total DAG instances", "54"});
+  std::cout << params.render() << '\n';
+
+  const auto suite = dag::generate_table1_suite();
+  std::cout << "generated " << suite.size() << " instances\n\n";
+
+  core::TextTable stats;
+  stats.set_header({"width", "ratio", "n", "tasks", "edges", "levels",
+                    "entry", "exit"});
+  for (const auto& inst : suite) {
+    const auto& g = inst.graph;
+    stats.add_row({std::to_string(inst.params.width),
+                   core::fmt(inst.params.add_ratio, 2),
+                   std::to_string(inst.params.matrix_dim),
+                   std::to_string(g.num_tasks()),
+                   std::to_string(g.num_edges()),
+                   std::to_string(g.num_levels()),
+                   std::to_string(g.entry_tasks().size()),
+                   std::to_string(g.exit_tasks().size())});
+  }
+  std::cout << stats.render() << '\n';
+
+  std::vector<double> edges, levels;
+  for (const auto& inst : suite) {
+    edges.push_back(static_cast<double>(inst.graph.num_edges()));
+    levels.push_back(static_cast<double>(inst.graph.num_levels()));
+  }
+  const auto es = stats::summarize(edges);
+  const auto ls = stats::summarize(levels);
+  std::cout << "edges per DAG:  mean " << core::fmt(es.mean, 1) << " (min "
+            << es.min << ", max " << es.max << ")\n";
+  std::cout << "levels per DAG: mean " << core::fmt(ls.mean, 1) << " (min "
+            << ls.min << ", max " << ls.max << ")\n";
+  return 0;
+}

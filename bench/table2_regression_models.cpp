@@ -1,0 +1,65 @@
+// Table II: the fitted empirical models — execution time regressions per
+// kernel and matrix size, redistribution startup regression, and task
+// startup regression — with the paper's coefficients side by side.
+#include "bench_util.hpp"
+#include "mtsched/core/table.hpp"
+#include "mtsched/machine/java_cluster.hpp"
+#include "mtsched/profiling/regression_builder.hpp"
+#include "mtsched/tgrid/emulator.hpp"
+
+int main() {
+  using namespace mtsched;
+  bench::banner("Table II — regression models (empirical simulator)",
+                "Hunold/Casanova/Suter 2011, Table II");
+
+  machine::JavaClusterModel java;
+  const tgrid::TGridEmulator rig(java, java.platform_spec());
+  const profiling::Profiler profiler(rig);
+  const profiling::RegressionBuilder builder(profiler);
+  const auto build =
+      builder.build(profiling::ProfileConfig{}, profiling::SamplePlan::robust());
+
+  core::TextTable t;
+  t.set_header({"time to model", "sample p", "fitted model (ours)",
+                "paper coefficients"});
+  const auto& mm2000 = build.fits.exec.at({dag::TaskKernel::MatMul, 2000});
+  const auto& mm3000 = build.fits.exec.at({dag::TaskKernel::MatMul, 3000});
+  const auto& add2000 = build.fits.exec.at({dag::TaskKernel::MatAdd, 2000});
+  const auto& add3000 = build.fits.exec.at({dag::TaskKernel::MatAdd, 3000});
+
+  auto pw = [](const stats::PiecewiseFit& f) {
+    std::string s = core::fmt(f.small_p.a, 2) + "/p + " +
+                    core::fmt(f.small_p.b, 2);
+    if (f.has_large) {
+      s += " ; " + core::fmt(f.large_p.a, 2) + "*p + " +
+           core::fmt(f.large_p.b, 2);
+    }
+    return s;
+  };
+
+  t.add_row({"exec (multiplication) n=2000", "{2,4,7,15}+{15,24,31}",
+             pw(mm2000), "(a,b,c,d) = (239.44, 3.43, 0.08, 1.93)"});
+  t.add_row({"exec (multiplication) n=3000", "{2,4,7,15}+{15,24,31}",
+             pw(mm3000), "(a,b,c,d) = (537.91, -25.55, -0.09, 11.47)"});
+  t.add_row({"exec (addition) n=2000", "{2,4,7,15,24,31}", pw(add2000),
+             "(a,b) = (22.99, 0.03)"});
+  t.add_row({"exec (addition) n=3000", "{2,4,7,15,24,31}", pw(add3000),
+             "(a,b) = (73.59, 0.38)"});
+  t.add_row({"redistribution startup [s]", "{1,16,32}",
+             core::fmt(build.fits.redist.a, 5) + "*p_dst + " +
+                 core::fmt(build.fits.redist.b, 3),
+             "(a,b) = (0.00788, 0.10858)"});
+  t.add_row({"task startup time [s]", "{1,16,32}",
+             core::fmt(build.fits.startup.a, 3) + "*p + " +
+                 core::fmt(build.fits.startup.b, 3),
+             "(a,b) = (0.03, 0.65)"});
+  std::cout << t.render() << '\n';
+
+  std::cout << "notes:\n"
+            << " * exec models: a/p + b for p <= 16, c*p + d for p > 16\n"
+            << " * linear-branch slopes: ours are near zero (n = 2000, saturated) and "
+               "negative\n"
+            << "   (n = 3000, still scaling); the paper reports +0.08 and "
+               "-0.09\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Structured applications: schedule Strassen multiplication and blocked
+// LU factorization — classic mixed-parallel workloads — with the CPA
+// family and with M-HEFT, then check every prediction against the
+// emulated cluster.
+//
+// Run:  ./structured_apps
+#include <iostream>
+
+#include "mtsched/core/table.hpp"
+#include "mtsched/dag/apps.hpp"
+#include "mtsched/exp/lab.hpp"
+#include "mtsched/models/cost_model.hpp"
+#include "mtsched/sched/allocation.hpp"
+#include "mtsched/sched/mapping.hpp"
+#include "mtsched/sched/mheft.hpp"
+#include "mtsched/sim/simulator.hpp"
+
+namespace {
+
+using namespace mtsched;
+
+void evaluate(const std::string& app_name, const dag::Dag& g,
+              const exp::Lab& lab, core::TextTable& table) {
+  const auto& model = lab.profile();
+  const models::SchedCostAdapter cost(model);
+  const sim::Simulator simulator(model);
+  const int P = lab.spec().num_nodes;
+
+  auto report = [&](const std::string& algo, const sched::Schedule& s) {
+    const double sim_mk = simulator.makespan(g, s);
+    const double exp_mk = lab.rig().makespan(g, s, 42);
+    table.add_row({app_name, algo, std::to_string(g.num_tasks()),
+                   core::fmt(s.est_makespan, 1), core::fmt(sim_mk, 1),
+                   core::fmt(exp_mk, 1)});
+  };
+  for (const char* name : {"CPA", "HCPA", "MCPA"}) {
+    const auto algo = sched::make_allocator(name);
+    const auto alloc = algo->allocate(g, cost, P);
+    report(name, sched::ListMapper{}.map(g, alloc, cost, P));
+  }
+  report("M-HEFT", sched::MHeftScheduler(cost, P).schedule(g));
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "building lab...\n\n";
+  exp::Lab lab;
+
+  core::TextTable table;
+  table.set_header({"application", "algorithm", "tasks", "est [s]",
+                    "sim [s]", "exp [s]"});
+
+  // Strassen needs profiles for the half/quarter dimensions too; restrict
+  // to one level so the built-in 2000/3000-point profile tables... do not
+  // apply: profile them explicitly.
+  exp::LabConfig cfg;
+  cfg.profiling.matrix_dims = {500, 1000, 2000};
+  exp::Lab strassen_lab(cfg);
+  const auto strassen = dag::strassen_dag(2000, 1);
+  evaluate("strassen(2000, L1)", strassen, strassen_lab, table);
+
+  exp::LabConfig lu_cfg;
+  lu_cfg.profiling.matrix_dims = {1000};
+  exp::Lab lu_lab(lu_cfg);
+  const auto lu = dag::block_lu_dag(4, 1000);
+  evaluate("block-LU(4x4, 1000)", lu, lu_lab, table);
+
+  std::cout << table.render() << '\n';
+  std::cout
+      << "Strassen's wide addition layers reward MCPA's level awareness\n"
+      << "among the two-step algorithms; LU's long dependency spine\n"
+      << "punishes fixed allocation policies. M-HEFT, deciding allocation\n"
+      << "and placement together per task, wins on both here — at a far\n"
+      << "higher scheduling cost than CPA's, which is exactly the\n"
+      << "trade-off the CPA line of work argues about.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Error handling primitives for mtsched.
+//
+// The library reports contract violations and invalid user input via
+// exceptions derived from mtsched::core::Error. Hot simulation paths use
+// assertions compiled out in release builds; anything reachable from a
+// public API argument uses MTSCHED_REQUIRE, which always checks.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mtsched::core {
+
+/// Base class of all exceptions thrown by mtsched.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented API precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is found broken (a library bug).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when parsing a platform/DAG description fails.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << expr << ") at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mtsched::core
+
+/// Check a documented precondition of a public API; always enabled.
+#define MTSCHED_REQUIRE(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::mtsched::core::detail::throw_require(#expr, __FILE__, __LINE__,   \
+                                             (msg));                      \
+    }                                                                     \
+  } while (false)
+
+/// Check an internal invariant; always enabled (cheap checks only).
+#define MTSCHED_INVARIANT(expr, msg)                                      \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::mtsched::core::detail::throw_invariant(#expr, __FILE__, __LINE__, \
+                                               (msg));                    \
+    }                                                                     \
+  } while (false)

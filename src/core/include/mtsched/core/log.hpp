@@ -1,0 +1,41 @@
+// Minimal leveled logging. Off (Warn) by default so library users and test
+// runs stay quiet; the examples turn on Info to narrate what they do.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mtsched::core {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace mtsched::core
+
+#define MTSCHED_LOG(level) ::mtsched::core::detail::LogStream(level)
+#define MTSCHED_DEBUG() MTSCHED_LOG(::mtsched::core::LogLevel::Debug)
+#define MTSCHED_INFO() MTSCHED_LOG(::mtsched::core::LogLevel::Info)
+#define MTSCHED_WARN() MTSCHED_LOG(::mtsched::core::LogLevel::Warn)

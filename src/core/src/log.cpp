@@ -1,0 +1,32 @@
+#include "mtsched/core/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace mtsched::core {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info:  return "INFO ";
+    case LogLevel::Warn:  return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off:   return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::cerr << "[mtsched " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace mtsched::core

@@ -1,0 +1,71 @@
+#include "mtsched/core/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::core {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  MTSCHED_REQUIRE(header_.empty() || row.size() == header_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << row[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string hbar(double value, double full_scale, int width) {
+  MTSCHED_REQUIRE(full_scale > 0.0, "full_scale must be positive");
+  MTSCHED_REQUIRE(width > 0, "width must be positive");
+  const double clamped = std::clamp(value, -full_scale, full_scale);
+  const int n = static_cast<int>(
+      std::lround(std::abs(clamped) / full_scale * static_cast<double>(width)));
+  std::string left(static_cast<std::size_t>(width), ' ');
+  std::string right(static_cast<std::size_t>(width), ' ');
+  if (clamped < 0) {
+    for (int i = 0; i < n; ++i) left[static_cast<std::size_t>(width - 1 - i)] = '#';
+  } else {
+    for (int i = 0; i < n; ++i) right[static_cast<std::size_t>(i)] = '#';
+  }
+  return left + '|' + right;
+}
+
+}  // namespace mtsched::core

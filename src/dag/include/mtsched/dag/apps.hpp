@@ -1,0 +1,41 @@
+// Structured application task graphs.
+//
+// Mixed-parallel scheduling papers motivate their algorithms with real
+// dense linear-algebra workflows; these builders produce two classics as
+// DAGs of the library's matrix kernels:
+//
+//   * Strassen multiplication — each recursion level turns one
+//     multiplication of dimension n into 10 pre-addition tasks (S1..S10),
+//     7 sub-multiplications of dimension n/2 (recursively expanded) and 8
+//     combination additions for the C quadrants. A great stress test for
+//     mixed parallelism: wide layers of cheap additions feeding expensive
+//     multiplications.
+//
+//   * Blocked LU factorization (right-looking, no pivoting) — for each of
+//     B diagonal steps: one factor task, 2(B-k-1) panel solves and
+//     (B-k-1)^2 trailing updates, with the classic dependency pattern.
+//     The triangular kernels are approximated by the library's
+//     multiplication kernel at the block dimension (their cubic cost and
+//     1-D distribution behaviour are the scheduling-relevant parts).
+#pragma once
+
+#include "mtsched/dag/dag.hpp"
+
+namespace mtsched::dag {
+
+/// Strassen task graph multiplying two n-by-n matrices with `levels`
+/// levels of recursion (levels >= 1; block tasks have dimension
+/// n / 2^levels at the leaves). n must be divisible by 2^levels.
+Dag strassen_dag(int n, int levels);
+
+/// Number of tasks strassen_dag(n, levels) produces.
+std::size_t strassen_task_count(int levels);
+
+/// Blocked LU task graph over a blocks-by-blocks grid of block_dim-sized
+/// tiles (blocks >= 1).
+Dag block_lu_dag(int blocks, int block_dim);
+
+/// Number of tasks block_lu_dag(blocks, ...) produces.
+std::size_t block_lu_task_count(int blocks);
+
+}  // namespace mtsched::dag

@@ -1,0 +1,97 @@
+// Mixed-parallel application model (paper Section II).
+//
+// An application is a DAG of *moldable* data-parallel tasks: each task can
+// run on any number of processors p within [1, P]. In the case study the
+// tasks are dense matrix additions and multiplications on n-by-n matrices
+// with a vanilla 1-D column-block distribution; an edge t -> u means u
+// consumes the n-by-n matrix produced by t, which generally requires a data
+// redistribution between the (different) processor sets of t and u.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mtsched/core/units.hpp"
+
+namespace mtsched::dag {
+
+using TaskId = std::uint32_t;
+inline constexpr TaskId kInvalidTask = static_cast<TaskId>(-1);
+
+/// Computational kernel executed by a task.
+enum class TaskKernel {
+  MatMul,  ///< C = A * B, 2 n^3 flops sequentially
+  MatAdd,  ///< C = A + B, repeated n/4 times per paper Section IV-1
+};
+
+const char* kernel_name(TaskKernel k);
+
+/// Sequential flop count of a kernel on n-by-n matrices, including the
+/// paper's n/4 repetition factor for additions (Section IV-1).
+double kernel_flops(TaskKernel k, int n);
+
+/// One moldable task.
+struct Task {
+  TaskId id = kInvalidTask;
+  TaskKernel kernel = TaskKernel::MatMul;
+  int matrix_dim = 0;  ///< n: operates on and produces n-by-n matrices
+  std::string name;
+};
+
+/// A data-dependency edge: `dst` consumes the matrix produced by `src`.
+struct Edge {
+  TaskId src = kInvalidTask;
+  TaskId dst = kInvalidTask;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Immutable-after-build task graph with adjacency in both directions.
+class Dag {
+ public:
+  /// Adds a task with the given kernel and matrix dimension; returns its id.
+  TaskId add_task(TaskKernel kernel, int matrix_dim, std::string name = {});
+
+  /// Adds the dependency edge src -> dst. Rejects self-loops, unknown ids
+  /// and duplicate edges. Cycles are rejected lazily by validate().
+  void add_edge(TaskId src, TaskId dst);
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const Task& task(TaskId id) const;
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  const std::vector<TaskId>& predecessors(TaskId id) const;
+  const std::vector<TaskId>& successors(TaskId id) const;
+
+  /// Tasks with no predecessors / no successors.
+  std::vector<TaskId> entry_tasks() const;
+  std::vector<TaskId> exit_tasks() const;
+
+  /// Topological order (Kahn). Throws core::InvalidArgument on cycles.
+  std::vector<TaskId> topological_order() const;
+
+  /// Precedence level of every task: entry tasks are level 0, any other
+  /// task is 1 + max level over its predecessors. Used by MCPA.
+  std::vector<int> precedence_levels() const;
+
+  /// Number of distinct precedence levels.
+  int num_levels() const;
+
+  /// Throws if the graph has a cycle; no-op otherwise.
+  void validate() const;
+
+  /// Bytes carried by an edge: the full n-by-n double matrix of `src`.
+  double edge_bytes(const Edge& e) const;
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<TaskId>> preds_;
+  std::vector<std::vector<TaskId>> succs_;
+};
+
+}  // namespace mtsched::dag

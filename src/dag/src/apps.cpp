@@ -1,0 +1,180 @@
+#include "mtsched/dag/apps.hpp"
+
+#include <string>
+#include <vector>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::dag {
+
+namespace {
+
+/// Builds one Strassen level producing the multiplication of dimension n;
+/// `inputs` are the producer tasks of the two operand matrices (possibly
+/// empty at the top level, where operands are external data). Returns the
+/// task producing the result.
+TaskId strassen_level(Dag& g, int n, int level,
+                      const std::vector<TaskId>& inputs,
+                      const std::string& tag) {
+  const int half = n / 2;
+  auto connect_inputs = [&](TaskId consumer) {
+    for (TaskId in : inputs) g.add_edge(in, consumer);
+  };
+
+  if (level == 0) {
+    const TaskId leaf = g.add_task(TaskKernel::MatMul, n, "mm_" + tag);
+    connect_inputs(leaf);
+    return leaf;
+  }
+
+  // Pre-additions S1..S10 (operate on quadrants of the inputs).
+  std::vector<TaskId> s;
+  for (int i = 1; i <= 10; ++i) {
+    const TaskId add = g.add_task(TaskKernel::MatAdd, half,
+                                  "s" + std::to_string(i) + "_" + tag);
+    connect_inputs(add);
+    s.push_back(add);
+  }
+  // Products M1..M7 with their classic S-task operands; operands that are
+  // raw input quadrants appear as dependencies on the level inputs, which
+  // connect_inputs already covers inside the recursive call.
+  const std::vector<std::vector<int>> m_operands = {
+      {1, 2}, {3}, {4}, {5}, {6}, {7, 8}, {9, 10}};  // 1-based S indices
+  std::vector<TaskId> m;
+  for (std::size_t i = 0; i < m_operands.size(); ++i) {
+    std::vector<TaskId> operand_tasks;
+    for (int si : m_operands[i]) {
+      operand_tasks.push_back(s[static_cast<std::size_t>(si - 1)]);
+    }
+    // Products with a single S operand multiply by a *raw quadrant* of
+    // this level's inputs, so they depend on the input producers directly.
+    if (m_operands[i].size() < 2) {
+      for (TaskId in : inputs) operand_tasks.push_back(in);
+    }
+    m.push_back(strassen_level(g, half, level - 1, operand_tasks,
+                               "m" + std::to_string(i + 1) + "_" + tag));
+  }
+  // Combinations: C11 = M1+M4-M5+M7, C12 = M3+M5, C21 = M2+M4,
+  // C22 = M1-M2+M3+M6, as binary addition trees.
+  auto add2 = [&](TaskId a, TaskId b, const std::string& name) {
+    const TaskId t = g.add_task(TaskKernel::MatAdd, half, name + "_" + tag);
+    g.add_edge(a, t);
+    g.add_edge(b, t);
+    return t;
+  };
+  const TaskId c11a = add2(m[0], m[3], "c11a");
+  const TaskId c11b = add2(c11a, m[4], "c11b");
+  const TaskId c11 = add2(c11b, m[6], "c11");
+  const TaskId c12 = add2(m[2], m[4], "c12");
+  const TaskId c21 = add2(m[1], m[3], "c21");
+  const TaskId c22a = add2(m[0], m[1], "c22a");
+  const TaskId c22b = add2(c22a, m[2], "c22b");
+  const TaskId c22 = add2(c22b, m[5], "c22");
+
+  // A final assembly addition stands in for gathering the quadrants.
+  const TaskId out = g.add_task(TaskKernel::MatAdd, n, "c_" + tag);
+  g.add_edge(c11, out);
+  g.add_edge(c12, out);
+  g.add_edge(c21, out);
+  g.add_edge(c22, out);
+  return out;
+}
+
+}  // namespace
+
+std::size_t strassen_task_count(int levels) {
+  // T(0) = 1; T(L) = 10 + 7*T(L-1) + 8 + 1.
+  std::size_t t = 1;
+  for (int l = 0; l < levels; ++l) t = 10 + 7 * t + 8 + 1;
+  return t;
+}
+
+Dag strassen_dag(int n, int levels) {
+  MTSCHED_REQUIRE(levels >= 1, "at least one recursion level required");
+  MTSCHED_REQUIRE(n >= 2, "matrix dimension must be >= 2");
+  int m = n;
+  for (int l = 0; l < levels; ++l) {
+    MTSCHED_REQUIRE(m % 2 == 0, "n must be divisible by 2^levels");
+    m /= 2;
+  }
+  MTSCHED_REQUIRE(m >= 1, "leaf dimension must be >= 1");
+  Dag g;
+  (void)strassen_level(g, n, levels, {}, "r");
+  g.validate();
+  MTSCHED_INVARIANT(g.num_tasks() == strassen_task_count(levels),
+                    "strassen task-count formula disagrees with builder");
+  return g;
+}
+
+std::size_t block_lu_task_count(int blocks) {
+  // Per step k (0-based): 1 factor + 2*(B-k-1) solves + (B-k-1)^2 updates.
+  std::size_t total = 0;
+  for (int k = 0; k < blocks; ++k) {
+    const std::size_t r = static_cast<std::size_t>(blocks - k - 1);
+    total += 1 + 2 * r + r * r;
+  }
+  return total;
+}
+
+Dag block_lu_dag(int blocks, int block_dim) {
+  MTSCHED_REQUIRE(blocks >= 1, "at least one block required");
+  MTSCHED_REQUIRE(block_dim >= 1, "block dimension must be >= 1");
+  Dag g;
+  const int B = blocks;
+  // owner(i, j): the task that last wrote tile (i, j); kInvalidTask when
+  // the tile is still the external input matrix.
+  std::vector<std::vector<TaskId>> owner(
+      static_cast<std::size_t>(B),
+      std::vector<TaskId>(static_cast<std::size_t>(B), kInvalidTask));
+  auto depend = [&](TaskId task, int i, int j) {
+    const TaskId o = owner[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)];
+    if (o != kInvalidTask) g.add_edge(o, task);
+  };
+
+  for (int k = 0; k < B; ++k) {
+    const std::string kk = std::to_string(k);
+    // Factor the diagonal tile (getrf; cubic cost -> multiplication
+    // kernel).
+    const TaskId factor =
+        g.add_task(TaskKernel::MatMul, block_dim, "getrf_" + kk);
+    depend(factor, k, k);
+    owner[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)] = factor;
+    // Panel solves (trsm) in row k and column k.
+    for (int i = k + 1; i < B; ++i) {
+      const std::string ii = std::to_string(i);
+      const TaskId row =
+          g.add_task(TaskKernel::MatMul, block_dim, "trsmr_" + kk + "_" + ii);
+      depend(row, k, i);
+      g.add_edge(factor, row);
+      owner[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] = row;
+      const TaskId col =
+          g.add_task(TaskKernel::MatMul, block_dim, "trsmc_" + ii + "_" + kk);
+      depend(col, i, k);
+      g.add_edge(factor, col);
+      owner[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = col;
+    }
+    // Trailing updates (gemm): tile(i,j) -= tile(i,k) * tile(k,j).
+    for (int i = k + 1; i < B; ++i) {
+      for (int j = k + 1; j < B; ++j) {
+        const TaskId upd = g.add_task(
+            TaskKernel::MatMul, block_dim,
+            "gemm_" + std::to_string(i) + "_" + std::to_string(j) + "_" + kk);
+        depend(upd, i, j);
+        g.add_edge(owner[static_cast<std::size_t>(i)]
+                        [static_cast<std::size_t>(k)],
+                   upd);
+        g.add_edge(owner[static_cast<std::size_t>(k)]
+                        [static_cast<std::size_t>(j)],
+                   upd);
+        owner[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = upd;
+      }
+    }
+  }
+  g.validate();
+  MTSCHED_INVARIANT(g.num_tasks() == block_lu_task_count(blocks),
+                    "LU task-count formula disagrees with builder");
+  return g;
+}
+
+}  // namespace mtsched::dag

@@ -1,0 +1,130 @@
+#include "mtsched/dag/dag.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::dag {
+
+const char* kernel_name(TaskKernel k) {
+  switch (k) {
+    case TaskKernel::MatMul: return "matmul";
+    case TaskKernel::MatAdd: return "matadd";
+  }
+  return "?";
+}
+
+double kernel_flops(TaskKernel k, int n) {
+  MTSCHED_REQUIRE(n > 0, "matrix dimension must be positive");
+  const double nd = static_cast<double>(n);
+  switch (k) {
+    case TaskKernel::MatMul:
+      return 2.0 * nd * nd * nd;
+    case TaskKernel::MatAdd:
+      // Additions are repeated n/4 times (paper Section IV-1) so they are
+      // not negligible next to multiplications: total (n/4) * n^2 ops.
+      return (nd / 4.0) * nd * nd;
+  }
+  return 0.0;
+}
+
+TaskId Dag::add_task(TaskKernel kernel, int matrix_dim, std::string name) {
+  MTSCHED_REQUIRE(matrix_dim > 0, "matrix dimension must be positive");
+  Task t;
+  t.id = static_cast<TaskId>(tasks_.size());
+  t.kernel = kernel;
+  t.matrix_dim = matrix_dim;
+  t.name = name.empty() ? std::string(kernel_name(kernel)) + "_" +
+                              std::to_string(t.id)
+                        : std::move(name);
+  tasks_.push_back(std::move(t));
+  preds_.emplace_back();
+  succs_.emplace_back();
+  return tasks_.back().id;
+}
+
+void Dag::add_edge(TaskId src, TaskId dst) {
+  MTSCHED_REQUIRE(src < tasks_.size(), "unknown source task");
+  MTSCHED_REQUIRE(dst < tasks_.size(), "unknown destination task");
+  MTSCHED_REQUIRE(src != dst, "self-loop edges are not allowed");
+  const auto& out = succs_[src];
+  MTSCHED_REQUIRE(std::find(out.begin(), out.end(), dst) == out.end(),
+                  "duplicate edge");
+  edges_.push_back(Edge{src, dst});
+  succs_[src].push_back(dst);
+  preds_[dst].push_back(src);
+}
+
+const Task& Dag::task(TaskId id) const {
+  MTSCHED_REQUIRE(id < tasks_.size(), "unknown task id");
+  return tasks_[id];
+}
+
+const std::vector<TaskId>& Dag::predecessors(TaskId id) const {
+  MTSCHED_REQUIRE(id < tasks_.size(), "unknown task id");
+  return preds_[id];
+}
+
+const std::vector<TaskId>& Dag::successors(TaskId id) const {
+  MTSCHED_REQUIRE(id < tasks_.size(), "unknown task id");
+  return succs_[id];
+}
+
+std::vector<TaskId> Dag::entry_tasks() const {
+  std::vector<TaskId> out;
+  for (const auto& t : tasks_)
+    if (preds_[t.id].empty()) out.push_back(t.id);
+  return out;
+}
+
+std::vector<TaskId> Dag::exit_tasks() const {
+  std::vector<TaskId> out;
+  for (const auto& t : tasks_)
+    if (succs_[t.id].empty()) out.push_back(t.id);
+  return out;
+}
+
+std::vector<TaskId> Dag::topological_order() const {
+  std::vector<std::size_t> indeg(tasks_.size(), 0);
+  for (const auto& e : edges_) ++indeg[e.dst];
+  // Deterministic order: among ready tasks, smallest id first.
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  for (const auto& t : tasks_)
+    if (indeg[t.id] == 0) ready.push(t.id);
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId id = ready.top();
+    ready.pop();
+    order.push_back(id);
+    for (TaskId s : succs_[id]) {
+      if (--indeg[s] == 0) ready.push(s);
+    }
+  }
+  MTSCHED_REQUIRE(order.size() == tasks_.size(), "DAG contains a cycle");
+  return order;
+}
+
+std::vector<int> Dag::precedence_levels() const {
+  const auto order = topological_order();
+  std::vector<int> level(tasks_.size(), 0);
+  for (TaskId id : order) {
+    for (TaskId p : preds_[id]) level[id] = std::max(level[id], level[p] + 1);
+  }
+  return level;
+}
+
+int Dag::num_levels() const {
+  if (tasks_.empty()) return 0;
+  const auto levels = precedence_levels();
+  return *std::max_element(levels.begin(), levels.end()) + 1;
+}
+
+void Dag::validate() const { (void)topological_order(); }
+
+double Dag::edge_bytes(const Edge& e) const {
+  return core::matrix_bytes(task(e.src).matrix_dim);
+}
+
+}  // namespace mtsched::dag

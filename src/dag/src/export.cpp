@@ -1,0 +1,82 @@
+#include "mtsched/dag/export.hpp"
+
+#include <sstream>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::dag {
+
+std::string to_dot(const Dag& g, const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=TB;\n";
+  for (const auto& t : g.tasks()) {
+    os << "  t" << t.id << " [label=\"" << t.name << "\\n"
+       << kernel_name(t.kernel) << " n=" << t.matrix_dim << "\", shape="
+       << (t.kernel == TaskKernel::MatMul ? "box" : "ellipse") << "];\n";
+  }
+  for (const auto& e : g.edges())
+    os << "  t" << e.src << " -> t" << e.dst << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_text(const Dag& g) {
+  std::ostringstream os;
+  for (const auto& t : g.tasks()) {
+    os << "task " << t.id << ' ' << kernel_name(t.kernel) << ' '
+       << t.matrix_dim << ' ' << t.name << '\n';
+  }
+  for (const auto& e : g.edges()) os << "edge " << e.src << ' ' << e.dst << '\n';
+  return os.str();
+}
+
+Dag from_text(const std::string& text) {
+  Dag g;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "task") {
+      unsigned id;
+      std::string kernel, name;
+      int n;
+      if (!(ls >> id >> kernel >> n)) {
+        throw core::ParseError("malformed task line " + std::to_string(lineno));
+      }
+      ls >> name;  // optional
+      TaskKernel k;
+      if (kernel == "matmul") {
+        k = TaskKernel::MatMul;
+      } else if (kernel == "matadd") {
+        k = TaskKernel::MatAdd;
+      } else {
+        throw core::ParseError("unknown kernel '" + kernel + "' on line " +
+                               std::to_string(lineno));
+      }
+      const TaskId got = g.add_task(k, n, name);
+      if (got != id) {
+        throw core::ParseError("task ids must be dense and in order (line " +
+                               std::to_string(lineno) + ")");
+      }
+    } else if (kind == "edge") {
+      unsigned s, d;
+      if (!(ls >> s >> d)) {
+        throw core::ParseError("malformed edge line " + std::to_string(lineno));
+      }
+      g.add_edge(s, d);
+    } else {
+      throw core::ParseError("unknown record '" + kind + "' on line " +
+                             std::to_string(lineno));
+    }
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace mtsched::dag

@@ -1,0 +1,94 @@
+// The paper's experimental methodology (Section V-A), as a reusable
+// pipeline:
+//
+//   for each generated DAG:
+//     1. compute a schedule per algorithm under the simulator's cost
+//        model (the scheduler runs inside the simulator);
+//     2. record the simulated makespan of that schedule;
+//     3. execute the *same* schedule on the cluster (here: the TGrid
+//        emulator) and record the experimental makespan;
+//   then compare: relative HCPA-vs-MCPA makespans in simulation vs
+//   experiment (Figures 1/5/7), and per-run simulation error (Figure 8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mtsched/dag/generator.hpp"
+#include "mtsched/models/cost_model.hpp"
+#include "mtsched/sched/allocation.hpp"
+#include "mtsched/tgrid/emulator.hpp"
+
+namespace mtsched::exp {
+
+/// Simulated and experimental makespans of one (DAG, algorithm) pair.
+struct AlgoOutcome {
+  std::string algorithm;
+  std::vector<int> allocation;  ///< processors per task
+  double makespan_sim = 0.0;
+  double makespan_exp = 0.0;
+
+  /// The paper's Figure 8 metric: |exp - sim| / sim, in percent. Relative
+  /// to the *simulated* value — analytical simulation underestimates, so
+  /// errors can exceed 100 % (the paper's axis reaches 1500 %).
+  double sim_error_percent() const;
+};
+
+/// Both algorithms on one DAG.
+struct DagOutcome {
+  std::string dag_name;
+  int matrix_dim = 0;
+  AlgoOutcome first;   ///< HCPA in the paper's figures
+  AlgoOutcome second;  ///< MCPA
+
+  /// Relative makespan of `first` w.r.t. `second` (negative = first is
+  /// faster), as in the paper's bar charts.
+  double rel_sim() const { return first.makespan_sim / second.makespan_sim - 1.0; }
+  double rel_exp() const { return first.makespan_exp / second.makespan_exp - 1.0; }
+
+  /// True when simulation and experiment disagree about which algorithm
+  /// wins (the paper's headline failure mode). Exact ties — identical
+  /// schedules — on either side count as agreement.
+  bool verdict_flip() const;
+};
+
+struct CaseStudyResult {
+  std::string model_name;
+  std::vector<DagOutcome> outcomes;
+
+  int num_flips() const;
+  std::vector<const DagOutcome*> with_dim(int matrix_dim) const;
+
+  /// All sim_error_percent values of the given side ("first"/"second").
+  std::vector<double> errors_first() const;
+  std::vector<double> errors_second() const;
+};
+
+class CaseStudy {
+ public:
+  /// `model` is the simulator under study; `rig` is the ground truth.
+  /// Both must outlive the case study.
+  CaseStudy(const models::CostModel& model, const tgrid::TGridEmulator& rig);
+
+  /// Evaluates one DAG with the two named algorithms; `exp_seed` drives
+  /// the experimental noise.
+  DagOutcome evaluate(const dag::GeneratedDag& instance,
+                      const sched::Allocator& first,
+                      const sched::Allocator& second,
+                      std::uint64_t exp_seed) const;
+
+  /// Full suite with HCPA vs MCPA (the paper's pairing).
+  CaseStudyResult run_suite(const std::vector<dag::GeneratedDag>& suite,
+                            std::uint64_t exp_seed) const;
+
+ private:
+  AlgoOutcome run_one(const dag::GeneratedDag& instance,
+                      const sched::Allocator& algo,
+                      std::uint64_t exp_seed) const;
+
+  const models::CostModel& model_;
+  const tgrid::TGridEmulator& rig_;
+};
+
+}  // namespace mtsched::exp

@@ -1,0 +1,70 @@
+// The fully wired laboratory: ground-truth machine + execution framework
+// (the "cluster"), plus the three simulator cost models of the paper,
+// built the way the paper builds them — the analytical model from
+// formulas, the profile model from a brute-force measurement campaign, the
+// empirical model from sparse measurements and regression.
+#pragma once
+
+#include <memory>
+
+#include "mtsched/machine/java_cluster.hpp"
+#include "mtsched/models/analytical.hpp"
+#include "mtsched/models/empirical.hpp"
+#include "mtsched/models/profile.hpp"
+#include "mtsched/profiling/profiler.hpp"
+#include "mtsched/profiling/regression_builder.hpp"
+#include "mtsched/tgrid/emulator.hpp"
+
+namespace mtsched::exp {
+
+struct LabConfig {
+  machine::JavaClusterConfig machine;
+  profiling::ProfileConfig profiling;
+  profiling::SamplePlan sample_plan = profiling::SamplePlan::robust();
+};
+
+/// Owns the whole experimental setup. Non-copyable (models hold references
+/// into the lab).
+class Lab {
+ public:
+  /// The paper's setup: the built-in Java/TGrid cluster behaviour.
+  explicit Lab(LabConfig cfg = {});
+
+  /// Bring-your-own cluster: any machine model plus the network fabric it
+  /// sits on. The profiling campaign and regressions run against it.
+  Lab(std::unique_ptr<machine::MachineModel> machine_model,
+      platform::ClusterSpec spec, LabConfig cfg = {});
+
+  Lab(const Lab&) = delete;
+  Lab& operator=(const Lab&) = delete;
+
+  const machine::MachineModel& machine() const { return *machine_; }
+  const platform::ClusterSpec& spec() const { return spec_; }
+  const tgrid::TGridEmulator& rig() const { return *rig_; }
+  const profiling::Profiler& profiler() const { return *profiler_; }
+
+  const models::AnalyticalModel& analytical() const { return *analytical_; }
+  const models::ProfileModel& profile() const { return *profile_; }
+  const models::EmpiricalModel& empirical() const { return *empirical_; }
+
+  /// The regression build behind the empirical model (Figure 6 data).
+  const profiling::EmpiricalBuild& empirical_build() const {
+    return empirical_build_;
+  }
+
+  const models::CostModel& model(models::CostModelKind kind) const;
+
+ private:
+  void wire(const LabConfig& cfg);
+
+  std::unique_ptr<machine::MachineModel> machine_;
+  platform::ClusterSpec spec_;
+  std::unique_ptr<tgrid::TGridEmulator> rig_;
+  std::unique_ptr<profiling::Profiler> profiler_;
+  std::unique_ptr<models::AnalyticalModel> analytical_;
+  std::unique_ptr<models::ProfileModel> profile_;
+  profiling::EmpiricalBuild empirical_build_;
+  std::unique_ptr<models::EmpiricalModel> empirical_;
+};
+
+}  // namespace mtsched::exp

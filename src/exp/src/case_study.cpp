@@ -1,0 +1,103 @@
+#include "mtsched/exp/case_study.hpp"
+
+#include <cmath>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/core/rng.hpp"
+#include "mtsched/sched/mapping.hpp"
+#include "mtsched/sim/simulator.hpp"
+
+namespace mtsched::exp {
+
+double AlgoOutcome::sim_error_percent() const {
+  MTSCHED_REQUIRE(makespan_sim > 0.0, "simulated makespan must be positive");
+  return std::abs(makespan_exp - makespan_sim) / makespan_sim * 100.0;
+}
+
+bool DagOutcome::verdict_flip() const {
+  constexpr double kTie = 1e-9;
+  if (std::abs(rel_sim()) < kTie || std::abs(rel_exp()) < kTie) return false;
+  return (rel_sim() < 0.0) != (rel_exp() < 0.0);
+}
+
+int CaseStudyResult::num_flips() const {
+  int n = 0;
+  for (const auto& o : outcomes)
+    if (o.verdict_flip()) ++n;
+  return n;
+}
+
+std::vector<const DagOutcome*> CaseStudyResult::with_dim(
+    int matrix_dim) const {
+  std::vector<const DagOutcome*> out;
+  for (const auto& o : outcomes)
+    if (o.matrix_dim == matrix_dim) out.push_back(&o);
+  return out;
+}
+
+std::vector<double> CaseStudyResult::errors_first() const {
+  std::vector<double> e;
+  e.reserve(outcomes.size());
+  for (const auto& o : outcomes) e.push_back(o.first.sim_error_percent());
+  return e;
+}
+
+std::vector<double> CaseStudyResult::errors_second() const {
+  std::vector<double> e;
+  e.reserve(outcomes.size());
+  for (const auto& o : outcomes) e.push_back(o.second.sim_error_percent());
+  return e;
+}
+
+CaseStudy::CaseStudy(const models::CostModel& model,
+                     const tgrid::TGridEmulator& rig)
+    : model_(model), rig_(rig) {
+  MTSCHED_REQUIRE(model.spec().num_nodes == rig.spec().num_nodes,
+                  "simulator and experiment platforms must match in size");
+}
+
+AlgoOutcome CaseStudy::run_one(const dag::GeneratedDag& instance,
+                               const sched::Allocator& algo,
+                               std::uint64_t exp_seed) const {
+  const models::SchedCostAdapter cost(model_);
+  const sched::TwoStepScheduler scheduler(algo, cost, model_.spec().num_nodes);
+  const auto schedule = scheduler.schedule(instance.graph);
+
+  AlgoOutcome out;
+  out.algorithm = algo.name();
+  out.allocation = schedule.allocation();
+  out.makespan_sim = sim::Simulator(model_).makespan(instance.graph, schedule);
+  out.makespan_exp = rig_.makespan(instance.graph, schedule, exp_seed);
+  return out;
+}
+
+DagOutcome CaseStudy::evaluate(const dag::GeneratedDag& instance,
+                               const sched::Allocator& first,
+                               const sched::Allocator& second,
+                               std::uint64_t exp_seed) const {
+  DagOutcome o;
+  o.dag_name = instance.name;
+  o.matrix_dim = instance.params.matrix_dim;
+  // Distinct experiment seeds per algorithm: the two schedules are
+  // separate cluster runs, each with its own weather.
+  o.first = run_one(instance, first,
+                    core::hash_mix(exp_seed, 1, instance.params.seed));
+  o.second = run_one(instance, second,
+                     core::hash_mix(exp_seed, 2, instance.params.seed));
+  return o;
+}
+
+CaseStudyResult CaseStudy::run_suite(const std::vector<dag::GeneratedDag>& suite,
+                                     std::uint64_t exp_seed) const {
+  const sched::HcpaAllocator hcpa;
+  const sched::McpaAllocator mcpa;
+  CaseStudyResult result;
+  result.model_name = model_.name();
+  result.outcomes.reserve(suite.size());
+  for (const auto& inst : suite) {
+    result.outcomes.push_back(evaluate(inst, hcpa, mcpa, exp_seed));
+  }
+  return result;
+}
+
+}  // namespace mtsched::exp

@@ -1,0 +1,47 @@
+#include "mtsched/exp/lab.hpp"
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::exp {
+
+Lab::Lab(LabConfig cfg) {
+  auto java = std::make_unique<machine::JavaClusterModel>(cfg.machine);
+  spec_ = java->platform_spec();
+  machine_ = std::move(java);
+  wire(cfg);
+}
+
+Lab::Lab(std::unique_ptr<machine::MachineModel> machine_model,
+         platform::ClusterSpec spec, LabConfig cfg)
+    : machine_(std::move(machine_model)), spec_(std::move(spec)) {
+  MTSCHED_REQUIRE(machine_ != nullptr, "machine model must not be null");
+  wire(cfg);
+}
+
+void Lab::wire(const LabConfig& cfg) {
+  rig_ = std::make_unique<tgrid::TGridEmulator>(*machine_, spec_);
+  profiler_ = std::make_unique<profiling::Profiler>(*rig_);
+
+  analytical_ = std::make_unique<models::AnalyticalModel>(spec_);
+
+  // Section VI: brute-force measurement campaign -> profile model.
+  profile_ = std::make_unique<models::ProfileModel>(
+      spec_, profiler_->brute_force(cfg.profiling));
+
+  // Section VII: sparse measurements -> regressions -> empirical model.
+  const profiling::RegressionBuilder builder(*profiler_);
+  empirical_build_ = builder.build(cfg.profiling, cfg.sample_plan);
+  empirical_ =
+      std::make_unique<models::EmpiricalModel>(spec_, empirical_build_.fits);
+}
+
+const models::CostModel& Lab::model(models::CostModelKind kind) const {
+  switch (kind) {
+    case models::CostModelKind::Analytical: return *analytical_;
+    case models::CostModelKind::Profile: return *profile_;
+    case models::CostModelKind::Empirical: return *empirical_;
+  }
+  throw core::InvalidArgument("unknown cost model kind");
+}
+
+}  // namespace mtsched::exp

@@ -1,0 +1,88 @@
+#include "mtsched/exp/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "mtsched/core/table.hpp"
+#include "mtsched/stats/ascii.hpp"
+#include "mtsched/stats/summary.hpp"
+
+namespace mtsched::exp {
+
+int count_flips(const std::vector<const DagOutcome*>& outcomes) {
+  int n = 0;
+  for (const auto* o : outcomes)
+    if (o->verdict_flip()) ++n;
+  return n;
+}
+
+std::string render_relative_makespan_figure(
+    const std::vector<const DagOutcome*>& outcomes, const std::string& title) {
+  auto sorted = outcomes;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const DagOutcome* a, const DagOutcome* b) {
+              return a->rel_sim() < b->rel_sim();
+            });
+  double scale = 0.1;
+  for (const auto* o : sorted) {
+    scale = std::max({scale, std::abs(o->rel_sim()), std::abs(o->rel_exp())});
+  }
+  std::vector<stats::PairedBar> bars;
+  bars.reserve(sorted.size());
+  for (const auto* o : sorted) {
+    bars.push_back(stats::PairedBar{
+        o->dag_name + (o->verdict_flip() ? " *FLIP*" : ""), o->rel_sim(),
+        o->rel_exp()});
+  }
+  std::ostringstream os;
+  os << title << '\n'
+     << "(relative makespan of HCPA w.r.t. MCPA; negative = HCPA faster;\n"
+     << " rows sorted by simulated value, as in the paper)\n\n"
+     << stats::render_paired_bars(bars, scale, "sim", "exp") << '\n'
+     << "verdict flips: " << count_flips(sorted) << " / " << sorted.size()
+     << '\n';
+  return os.str();
+}
+
+std::string relative_makespan_csv(
+    const std::vector<const DagOutcome*>& outcomes) {
+  std::ostringstream os;
+  os << "dag,n,rel_sim,rel_exp,flip,mk_sim_hcpa,mk_exp_hcpa,mk_sim_mcpa,"
+        "mk_exp_mcpa\n";
+  os.precision(9);
+  for (const auto* o : outcomes) {
+    os << o->dag_name << ',' << o->matrix_dim << ',' << o->rel_sim() << ','
+       << o->rel_exp() << ',' << (o->verdict_flip() ? 1 : 0) << ','
+       << o->first.makespan_sim << ',' << o->first.makespan_exp << ','
+       << o->second.makespan_sim << ',' << o->second.makespan_exp << '\n';
+  }
+  return os.str();
+}
+
+std::string render_error_boxplots(
+    const std::vector<CaseStudyResult>& results) {
+  double hi = 1.0;
+  for (const auto& r : results) {
+    for (double e : r.errors_first()) hi = std::max(hi, e);
+    for (double e : r.errors_second()) hi = std::max(hi, e);
+  }
+  std::ostringstream os;
+  os << "makespan simulation error, percent of simulated value "
+     << "(axis 0 .. " << core::fmt(hi, 0) << " %)\n\n";
+  os << "HCPA:\n";
+  for (const auto& r : results) {
+    os << stats::render_box_row(r.model_name, stats::box_stats(r.errors_first()),
+                                0.0, hi)
+       << '\n';
+  }
+  os << "\nMCPA:\n";
+  for (const auto& r : results) {
+    os << stats::render_box_row(r.model_name,
+                                stats::box_stats(r.errors_second()), 0.0, hi)
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mtsched::exp

@@ -1,0 +1,20 @@
+#include "mtsched/machine/machine_model.hpp"
+
+namespace mtsched::machine {
+
+double MachineModel::exec_time_sample(dag::TaskKernel k, int n, int p,
+                                      core::Rng& rng) const {
+  return exec_time_mean(k, n, p) * rng.lognormal_unit(noise_sigma());
+}
+
+double MachineModel::startup_sample(int p, core::Rng& rng) const {
+  return startup_mean(p) * rng.lognormal_unit(noise_sigma());
+}
+
+double MachineModel::redist_overhead_sample(int p_src, int p_dst,
+                                            core::Rng& rng) const {
+  return redist_overhead_mean(p_src, p_dst) *
+         rng.lognormal_unit(noise_sigma());
+}
+
+}  // namespace mtsched::machine

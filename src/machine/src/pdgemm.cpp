@@ -1,0 +1,64 @@
+#include "mtsched/machine/pdgemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::machine {
+
+std::pair<int, int> process_grid(int p) {
+  MTSCHED_REQUIRE(p >= 1, "process count must be >= 1");
+  int r = static_cast<int>(std::sqrt(static_cast<double>(p)));
+  while (p % r != 0) --r;
+  return {r, p / r};
+}
+
+PdgemmMachineModel::PdgemmMachineModel(PdgemmConfig cfg) : cfg_(cfg) {
+  MTSCHED_REQUIRE(cfg_.num_nodes >= 1, "cluster needs at least one node");
+  MTSCHED_REQUIRE(cfg_.nominal_flops > 0.0, "nominal flop rate must be > 0");
+}
+
+double PdgemmMachineModel::efficiency(int n, int p) const {
+  MTSCHED_REQUIRE(n > 0, "matrix dimension must be positive");
+  MTSCHED_REQUIRE(p >= 1 && p <= cfg_.num_nodes, "allocation out of range");
+  const auto [r, c] = process_grid(p);
+  // Lopsided grids (r much smaller than c) broadcast longer panels.
+  const double lopsidedness =
+      1.0 - static_cast<double>(r) / static_cast<double>(c);
+  const double ph = core::unit_hash(cfg_.surface_seed,
+                                    static_cast<std::uint64_t>(n)) *
+                    2.0 * M_PI;
+  const double ph2 = core::unit_hash(cfg_.surface_seed + 3,
+                                     static_cast<std::uint64_t>(n)) *
+                     2.0 * M_PI;
+  const double x = static_cast<double>(p);
+  const double ripple =
+      0.6 * std::sin(0.7 * x + ph) + 0.4 * std::sin(1.9 * x + ph2);
+  const double e =
+      cfg_.eff_base + cfg_.eff_amp * ripple - cfg_.grid_penalty * lopsidedness;
+  return std::clamp(e, 0.70, 1.0);
+}
+
+double PdgemmMachineModel::exec_time_mean(dag::TaskKernel k, int n,
+                                          int p) const {
+  MTSCHED_REQUIRE(k == dag::TaskKernel::MatMul,
+                  "the PDGEMM model only covers matrix multiplication");
+  const double nd = static_cast<double>(n);
+  const double flops = 2.0 * nd * nd * nd / static_cast<double>(p);
+  return flops / (cfg_.nominal_flops * efficiency(n, p));
+}
+
+double PdgemmMachineModel::startup_mean(int p) const {
+  MTSCHED_REQUIRE(p >= 1 && p <= cfg_.num_nodes, "allocation out of range");
+  // aprun job launch is fast and flat compared to TGrid's JVM spawning.
+  return 0.08 + 0.001 * static_cast<double>(p);
+}
+
+double PdgemmMachineModel::redist_overhead_mean(int p_src, int p_dst) const {
+  MTSCHED_REQUIRE(p_src >= 1 && p_dst >= 1, "allocations must be >= 1");
+  // MPI communicator setup cost; negligible next to TGrid's subnet manager.
+  return 0.002 + 0.0001 * static_cast<double>(p_src + p_dst);
+}
+
+}  // namespace mtsched::machine

@@ -1,0 +1,48 @@
+// The empirical (regression-based) cost model (paper Section VII,
+// Table II).
+//
+// Execution times follow the paper's piecewise form — a/p + b in the
+// speedup regime (p <= 16) and c*p + d in the overhead-dominated regime
+// (p > 16); matrix additions use the hyperbolic branch only. Startup
+// overhead and redistribution protocol overhead are linear regressions in
+// p and p_dst respectively. All fits are built from sparse measurements by
+// profiling::RegressionBuilder (the paper uses p = {2,4,7,15} plus
+// {15,24,31}, avoiding the outliers at 8 and 16).
+#pragma once
+
+#include <map>
+
+#include "mtsched/models/cost_model.hpp"
+#include "mtsched/stats/regression.hpp"
+
+namespace mtsched::models {
+
+/// Fitted regressions; built by profiling::RegressionBuilder or by hand.
+struct EmpiricalFits {
+  /// Piecewise execution-time model per (kernel, n).
+  std::map<std::pair<dag::TaskKernel, int>, stats::PiecewiseFit> exec;
+  /// Startup overhead: linear a*p + b.
+  stats::Fit startup;
+  /// Redistribution protocol overhead: linear a*p_dst + b.
+  stats::Fit redist;
+};
+
+class EmpiricalModel final : public CostModel {
+ public:
+  /// Throws core::InvalidArgument if no execution fit is present.
+  EmpiricalModel(platform::ClusterSpec spec, EmpiricalFits fits);
+
+  CostModelKind kind() const override { return CostModelKind::Empirical; }
+
+  TaskSimCost task_sim_cost(const dag::Task& t, int p) const override;
+  double redist_overhead(int p_src, int p_dst) const override;
+  double exec_estimate(const dag::Task& t, int p) const override;
+  double startup_estimate(int p) const override;
+
+  const EmpiricalFits& fits() const { return fits_; }
+
+ private:
+  EmpiricalFits fits_;
+};
+
+}  // namespace mtsched::models

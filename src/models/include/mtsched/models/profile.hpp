@@ -1,0 +1,51 @@
+// The brute-force profile-based cost model (paper Section VI).
+//
+// Execution times come from a lookup table measured on the target platform
+// for every allocation size and every (kernel, n) pair of the workload;
+// task startup overhead comes from a measured per-p table (Figure 3); the
+// redistribution protocol overhead comes from a per-p_dst table averaged
+// over p_src (Figure 4 — the paper finds the overhead "depends mostly on
+// p(dst)"). Payload transfers remain network-simulated, as in the paper
+// ("the time for redistributing data is still based on the SimGrid
+// simulation, but an extra redistribution overhead is added").
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "mtsched/models/cost_model.hpp"
+
+namespace mtsched::models {
+
+/// Measured tables; built by profiling::Profiler, or by hand in tests.
+struct ProfileTables {
+  /// Mean execution seconds per (kernel, n), indexed by p - 1.
+  std::map<std::pair<dag::TaskKernel, int>, std::vector<double>> exec;
+  /// Mean startup seconds, indexed by p - 1.
+  std::vector<double> startup;
+  /// Mean redistribution protocol overhead, indexed by p_dst - 1.
+  std::vector<double> redist_by_dst;
+};
+
+class ProfileModel final : public CostModel {
+ public:
+  /// Throws core::InvalidArgument if any table is empty or contains
+  /// non-positive execution entries.
+  ProfileModel(platform::ClusterSpec spec, ProfileTables tables);
+
+  CostModelKind kind() const override { return CostModelKind::Profile; }
+
+  TaskSimCost task_sim_cost(const dag::Task& t, int p) const override;
+  double redist_overhead(int p_src, int p_dst) const override;
+  double exec_estimate(const dag::Task& t, int p) const override;
+  double startup_estimate(int p) const override;
+
+  const ProfileTables& tables() const { return tables_; }
+
+ private:
+  double exec_lookup(dag::TaskKernel k, int n, int p) const;
+
+  ProfileTables tables_;
+};
+
+}  // namespace mtsched::models

@@ -1,0 +1,64 @@
+#include "mtsched/models/analytical.hpp"
+
+#include <algorithm>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/core/units.hpp"
+
+namespace mtsched::models {
+
+AnalyticalModel::AnalyticalModel(platform::ClusterSpec spec)
+    : CostModel(std::move(spec)) {}
+
+double AnalyticalModel::ring_bytes(dag::TaskKernel k, int n, int p) {
+  if (k != dag::TaskKernel::MatMul || p <= 1) return 0.0;
+  const double nd = static_cast<double>(n);
+  return static_cast<double>(p - 1) * (nd * nd / static_cast<double>(p)) *
+         core::kElemBytes;
+}
+
+TaskSimCost AnalyticalModel::task_sim_cost(const dag::Task& t, int p) const {
+  MTSCHED_REQUIRE(p >= 1 && p <= spec_.num_nodes, "allocation out of range");
+  TaskSimCost cost;
+  const double per_rank =
+      dag::kernel_flops(t.kernel, t.matrix_dim) / static_cast<double>(p);
+  cost.flops_per_rank.assign(static_cast<std::size_t>(p), per_rank);
+  const double rb = ring_bytes(t.kernel, t.matrix_dim, p);
+  if (rb > 0.0) {
+    cost.bytes_rank_pair = core::Matrix<double>(static_cast<std::size_t>(p),
+                                                static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      cost.bytes_rank_pair(static_cast<std::size_t>(r),
+                           static_cast<std::size_t>((r + 1) % p)) = rb;
+    }
+  }
+  return cost;
+}
+
+double AnalyticalModel::redist_overhead(int p_src, int p_dst) const {
+  (void)p_src;
+  (void)p_dst;
+  return 0.0;  // the analytical model knows nothing of the subnet manager
+}
+
+double AnalyticalModel::exec_estimate(const dag::Task& t, int p) const {
+  MTSCHED_REQUIRE(p >= 1 && p <= spec_.num_nodes, "allocation out of range");
+  const double comp = dag::kernel_flops(t.kernel, t.matrix_dim) /
+                      static_cast<double>(p) / spec_.node.flops;
+  const double rb = ring_bytes(t.kernel, t.matrix_dim, p);
+  if (rb <= 0.0) return comp;
+  double comm = rb / spec_.net.link_bandwidth;
+  if (spec_.net.shared_backbone) {
+    comm = std::max(comm, rb * static_cast<double>(p) /
+                              spec_.net.backbone_bandwidth);
+  }
+  // L07 semantics: computation and communication overlap fully.
+  return std::max(comp, comm) + spec_.route_latency();
+}
+
+double AnalyticalModel::startup_estimate(int p) const {
+  (void)p;
+  return 0.0;  // no startup exists in the analytical world
+}
+
+}  // namespace mtsched::models

@@ -1,0 +1,46 @@
+#include "mtsched/models/cost_model.hpp"
+
+#include <algorithm>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/redist/plan.hpp"
+
+namespace mtsched::models {
+
+const char* kind_name(CostModelKind k) {
+  switch (k) {
+    case CostModelKind::Analytical: return "analytical";
+    case CostModelKind::Profile: return "profile";
+    case CostModelKind::Empirical: return "empirical";
+  }
+  return "?";
+}
+
+CostModel::CostModel(platform::ClusterSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+}
+
+double redist_payload_estimate(const platform::ClusterSpec& spec, int n,
+                               int p_src, int p_dst) {
+  const auto plan = redist::plan_block_redistribution(n, p_src, p_dst);
+  double max_out = 0.0, max_in = 0.0;
+  for (int i = 0; i < p_src; ++i) {
+    max_out = std::max(max_out, plan.bytes.row_total(static_cast<std::size_t>(i)));
+  }
+  for (int j = 0; j < p_dst; ++j) {
+    max_in = std::max(max_in, plan.bytes.col_total(static_cast<std::size_t>(j)));
+  }
+  double t = std::max(max_out, max_in) / spec.net.link_bandwidth;
+  if (spec.net.shared_backbone) {
+    t = std::max(t, plan.total_bytes() / spec.net.backbone_bandwidth);
+  }
+  return t + spec.route_latency();
+}
+
+double CostModel::redist_estimate(const dag::Task& producer, int p_src,
+                                  int p_dst) const {
+  return redist_overhead(p_src, p_dst) +
+         redist_payload_estimate(spec_, producer.matrix_dim, p_src, p_dst);
+}
+
+}  // namespace mtsched::models

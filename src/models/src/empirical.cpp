@@ -1,0 +1,54 @@
+#include "mtsched/models/empirical.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::models {
+
+namespace {
+// Regressions can dip to non-physical values outside their support (the
+// paper's MM n=3000 fit has b = -25.55); clamp predictions to a small
+// positive floor so downstream math stays sane.
+constexpr double kTimeFloor = 1e-3;
+}  // namespace
+
+EmpiricalModel::EmpiricalModel(platform::ClusterSpec spec, EmpiricalFits fits)
+    : CostModel(std::move(spec)), fits_(std::move(fits)) {
+  MTSCHED_REQUIRE(!fits_.exec.empty(),
+                  "empirical model needs at least one execution fit");
+}
+
+double EmpiricalModel::exec_estimate(const dag::Task& t, int p) const {
+  MTSCHED_REQUIRE(p >= 1 && p <= spec_.num_nodes, "allocation out of range");
+  const auto it = fits_.exec.find({t.kernel, t.matrix_dim});
+  MTSCHED_REQUIRE(it != fits_.exec.end(),
+                  "no execution fit for kernel '" +
+                      std::string(dag::kernel_name(t.kernel)) +
+                      "' at n = " + std::to_string(t.matrix_dim));
+  return std::max(kTimeFloor, it->second.eval(static_cast<double>(p)));
+}
+
+double EmpiricalModel::startup_estimate(int p) const {
+  MTSCHED_REQUIRE(p >= 1 && p <= spec_.num_nodes, "allocation out of range");
+  return std::max(0.0,
+                  stats::eval_linear(fits_.startup, static_cast<double>(p)));
+}
+
+double EmpiricalModel::redist_overhead(int p_src, int p_dst) const {
+  (void)p_src;  // like the profile model, a function of p_dst only
+  MTSCHED_REQUIRE(p_dst >= 1 && p_dst <= spec_.num_nodes,
+                  "destination allocation out of range");
+  return std::max(0.0,
+                  stats::eval_linear(fits_.redist, static_cast<double>(p_dst)));
+}
+
+TaskSimCost EmpiricalModel::task_sim_cost(const dag::Task& t, int p) const {
+  TaskSimCost cost;
+  cost.startup_seconds = startup_estimate(p);
+  cost.fixed_seconds = exec_estimate(t, p);
+  return cost;
+}
+
+}  // namespace mtsched::models

@@ -1,0 +1,62 @@
+#include "mtsched/models/profile.hpp"
+
+#include <string>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::models {
+
+ProfileModel::ProfileModel(platform::ClusterSpec spec, ProfileTables tables)
+    : CostModel(std::move(spec)), tables_(std::move(tables)) {
+  MTSCHED_REQUIRE(!tables_.exec.empty(),
+                  "profile model needs at least one execution table");
+  for (const auto& [key, times] : tables_.exec) {
+    MTSCHED_REQUIRE(!times.empty(), "empty execution profile");
+    for (double v : times) {
+      MTSCHED_REQUIRE(v > 0.0, "profiled execution times must be positive");
+    }
+  }
+  MTSCHED_REQUIRE(!tables_.startup.empty(), "startup table must be non-empty");
+  MTSCHED_REQUIRE(!tables_.redist_by_dst.empty(),
+                  "redistribution overhead table must be non-empty");
+}
+
+double ProfileModel::exec_lookup(dag::TaskKernel k, int n, int p) const {
+  const auto it = tables_.exec.find({k, n});
+  MTSCHED_REQUIRE(it != tables_.exec.end(),
+                  "no profile for kernel '" + std::string(dag::kernel_name(k)) +
+                      "' at n = " + std::to_string(n));
+  const auto& times = it->second;
+  MTSCHED_REQUIRE(p >= 1 && static_cast<std::size_t>(p) <= times.size(),
+                  "no profile entry for p = " + std::to_string(p));
+  return times[static_cast<std::size_t>(p - 1)];
+}
+
+TaskSimCost ProfileModel::task_sim_cost(const dag::Task& t, int p) const {
+  TaskSimCost cost;
+  cost.startup_seconds = startup_estimate(p);
+  cost.fixed_seconds = exec_lookup(t.kernel, t.matrix_dim, p);
+  return cost;
+}
+
+double ProfileModel::redist_overhead(int p_src, int p_dst) const {
+  (void)p_src;  // the paper averages over p_src (Section VI-C)
+  MTSCHED_REQUIRE(
+      p_dst >= 1 &&
+          static_cast<std::size_t>(p_dst) <= tables_.redist_by_dst.size(),
+      "no redistribution overhead entry for p_dst = " + std::to_string(p_dst));
+  return tables_.redist_by_dst[static_cast<std::size_t>(p_dst - 1)];
+}
+
+double ProfileModel::exec_estimate(const dag::Task& t, int p) const {
+  return exec_lookup(t.kernel, t.matrix_dim, p);
+}
+
+double ProfileModel::startup_estimate(int p) const {
+  MTSCHED_REQUIRE(p >= 1 &&
+                      static_cast<std::size_t>(p) <= tables_.startup.size(),
+                  "no startup entry for p = " + std::to_string(p));
+  return tables_.startup[static_cast<std::size_t>(p - 1)];
+}
+
+}  // namespace mtsched::models

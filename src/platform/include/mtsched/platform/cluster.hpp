@@ -1,0 +1,83 @@
+// Cluster platform description (paper Sections II-B and IV).
+//
+// A homogeneous cluster of N identical nodes connected to one switch by
+// private full-duplex links; the switch backbone may itself be a shared
+// resource. The paper's instance: 32 nodes, compute speed calibrated to
+// 250 MFlop/s (Java matrix multiply on a 2 GHz Opteron 246), Gigabit
+// Ethernet (1 Gb/s links, 100 us latency).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtsched::platform {
+
+/// One compute node.
+struct NodeSpec {
+  double flops = 250e6;  ///< effective compute speed, flop/s
+};
+
+/// Star interconnect: node --(private link)-- switch --(backbone)--.
+struct NetworkSpec {
+  double link_bandwidth = 125e6;     ///< private link, bytes/s (1 Gb/s)
+  double link_latency = 100e-6;      ///< private link latency, s
+  double backbone_bandwidth = 1e9;   ///< switch fabric, bytes/s
+  double backbone_latency = 0.0;     ///< switch latency, s
+  bool shared_backbone = true;       ///< false: ideal non-blocking switch
+};
+
+/// A cluster; homogeneous by default, heterogeneous when per-node speeds
+/// are given.
+struct ClusterSpec {
+  std::string name = "cluster";
+  int num_nodes = 32;
+  NodeSpec node;  ///< the reference node (every node when homogeneous)
+  NetworkSpec net;
+  /// Optional per-node speeds (flop/s). Empty = homogeneous at node.flops;
+  /// otherwise must have num_nodes entries. node.flops remains the
+  /// *reference* speed used by virtual-cluster scheduling.
+  std::vector<double> node_speeds;
+
+  bool heterogeneous() const { return !node_speeds.empty(); }
+
+  /// Speed of one node (reference speed when homogeneous).
+  double flops_of(int node_id) const;
+
+  /// Aggregate, slowest and fastest speeds across the cluster.
+  double total_flops() const;
+  double min_flops() const;
+  double max_flops() const;
+
+  /// End-to-end latency of a route between two distinct nodes.
+  double route_latency() const {
+    return 2.0 * net.link_latency + net.backbone_latency;
+  }
+
+  /// Throws core::InvalidArgument unless all fields are physical.
+  void validate() const;
+};
+
+/// The paper's experimental platform: University of Bayreuth cluster,
+/// N = 32, 250 MFlop/s effective per node, GigE.
+ClusterSpec bayreuth32();
+
+/// The paper's second platform (Figure 2 right): Cray XT4 "Franklin" at
+/// LBNL, PDGEMM runs at 4165.3 MFLOPS per core; SeaStar interconnect
+/// approximated as a fat star.
+ClusterSpec cray_xt4(int num_nodes = 64);
+
+/// Slowdown factor of a data-parallel task on the given node set relative
+/// to the same allocation size on reference-speed nodes: with an equal
+/// 1-D partition every member works at the pace of the slowest node, so
+/// the factor is reference_speed / min_speed(set). 1.0 on homogeneous
+/// clusters (and for faster-than-reference sets the factor is < 1).
+double exec_slowdown(const ClusterSpec& spec, const std::vector<int>& nodes);
+
+/// A synthetic heterogeneous cluster: node speeds drawn uniformly from
+/// [min_flops, max_flops] (deterministic in `seed`); the reference speed
+/// is their mean. Models the aggregated lab clusters HCPA targets.
+ClusterSpec heterogeneous_cluster(int num_nodes, double min_flops,
+                                  double max_flops, std::uint64_t seed = 1);
+
+}  // namespace mtsched::platform

@@ -1,0 +1,29 @@
+// Tiny key = value platform description format, so experiments can be run
+// against user-provided platforms without recompiling:
+//
+//   # comment
+//   name = mycluster
+//   nodes = 32
+//   node_flops = 250e6
+//   link_bandwidth = 125e6      # bytes/s
+//   link_latency = 100e-6       # seconds
+//   backbone_bandwidth = 16e9
+//   backbone_latency = 0
+//   shared_backbone = true
+#pragma once
+
+#include <string>
+
+#include "mtsched/platform/cluster.hpp"
+
+namespace mtsched::platform {
+
+/// Parses the format above; unknown keys raise core::ParseError, missing
+/// keys keep their ClusterSpec defaults.
+ClusterSpec parse_cluster(const std::string& text);
+
+/// Serializes a spec back to the same format (round-trips with
+/// parse_cluster).
+std::string to_text(const ClusterSpec& spec);
+
+}  // namespace mtsched::platform

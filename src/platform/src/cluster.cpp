@@ -1,0 +1,109 @@
+#include "mtsched/platform/cluster.hpp"
+
+#include <algorithm>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/core/rng.hpp"
+#include "mtsched/core/units.hpp"
+
+namespace mtsched::platform {
+
+double ClusterSpec::flops_of(int node_id) const {
+  MTSCHED_REQUIRE(node_id >= 0 && node_id < num_nodes, "node out of range");
+  if (node_speeds.empty()) return node.flops;
+  return node_speeds[static_cast<std::size_t>(node_id)];
+}
+
+double ClusterSpec::total_flops() const {
+  if (node_speeds.empty()) return node.flops * num_nodes;
+  double sum = 0.0;
+  for (double s : node_speeds) sum += s;
+  return sum;
+}
+
+double ClusterSpec::min_flops() const {
+  if (node_speeds.empty()) return node.flops;
+  return *std::min_element(node_speeds.begin(), node_speeds.end());
+}
+
+double ClusterSpec::max_flops() const {
+  if (node_speeds.empty()) return node.flops;
+  return *std::max_element(node_speeds.begin(), node_speeds.end());
+}
+
+void ClusterSpec::validate() const {
+  MTSCHED_REQUIRE(num_nodes >= 1, "cluster needs at least one node");
+  MTSCHED_REQUIRE(node.flops > 0.0, "node speed must be positive");
+  if (!node_speeds.empty()) {
+    MTSCHED_REQUIRE(
+        node_speeds.size() == static_cast<std::size_t>(num_nodes),
+        "node_speeds must have one entry per node");
+    for (double s : node_speeds) {
+      MTSCHED_REQUIRE(s > 0.0, "node speeds must be positive");
+    }
+  }
+  MTSCHED_REQUIRE(net.link_bandwidth > 0.0, "link bandwidth must be positive");
+  MTSCHED_REQUIRE(net.link_latency >= 0.0, "link latency must be >= 0");
+  MTSCHED_REQUIRE(net.backbone_bandwidth > 0.0,
+                  "backbone bandwidth must be positive");
+  MTSCHED_REQUIRE(net.backbone_latency >= 0.0, "backbone latency must be >= 0");
+}
+
+ClusterSpec bayreuth32() {
+  ClusterSpec c;
+  c.name = "bayreuth32";
+  c.num_nodes = 32;
+  c.node.flops = 250e6;  // Java matrix-multiply calibration (paper IV)
+  c.net.link_bandwidth = core::bps_to_Bps(1e9);  // 1 Gb/s
+  c.net.link_latency = core::usec(100.0);
+  // GigE switch fabric: ample but finite aggregate capacity.
+  c.net.backbone_bandwidth = 16.0 * core::bps_to_Bps(1e9);
+  c.net.backbone_latency = 0.0;
+  c.net.shared_backbone = true;
+  c.validate();
+  return c;
+}
+
+ClusterSpec cray_xt4(int num_nodes) {
+  ClusterSpec c;
+  c.name = "cray_xt4";
+  c.num_nodes = num_nodes;
+  c.node.flops = 4165.3e6;  // PDGEMM flop rate measured on Franklin (paper VI-A)
+  c.net.link_bandwidth = 6.4e9;  // SeaStar2 injection bandwidth, bytes/s
+  c.net.link_latency = core::usec(8.0);
+  c.net.backbone_bandwidth = 1e12;
+  c.net.backbone_latency = 0.0;
+  c.net.shared_backbone = false;
+  c.validate();
+  return c;
+}
+
+double exec_slowdown(const ClusterSpec& spec, const std::vector<int>& nodes) {
+  MTSCHED_REQUIRE(!nodes.empty(), "node set must be non-empty");
+  if (!spec.heterogeneous()) return 1.0;
+  double s_min = spec.flops_of(nodes.front());
+  for (int n : nodes) s_min = std::min(s_min, spec.flops_of(n));
+  return spec.node.flops / s_min;
+}
+
+ClusterSpec heterogeneous_cluster(int num_nodes, double min_flops,
+                                  double max_flops, std::uint64_t seed) {
+  MTSCHED_REQUIRE(num_nodes >= 1, "cluster needs at least one node");
+  MTSCHED_REQUIRE(min_flops > 0.0 && min_flops <= max_flops,
+                  "speed range must satisfy 0 < min <= max");
+  ClusterSpec c = bayreuth32();
+  c.name = "hetero" + std::to_string(num_nodes);
+  c.num_nodes = num_nodes;
+  core::Rng rng(seed);
+  double sum = 0.0;
+  for (int i = 0; i < num_nodes; ++i) {
+    const double s = rng.uniform(min_flops, max_flops);
+    c.node_speeds.push_back(s);
+    sum += s;
+  }
+  c.node.flops = sum / num_nodes;  // reference speed = mean
+  c.validate();
+  return c;
+}
+
+}  // namespace mtsched::platform

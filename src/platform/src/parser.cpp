@@ -1,0 +1,110 @@
+#include "mtsched/platform/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::platform {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  auto b = s.begin();
+  auto e = s.end();
+  while (b != e && std::isspace(static_cast<unsigned char>(*b))) ++b;
+  while (e != b && std::isspace(static_cast<unsigned char>(*(e - 1)))) --e;
+  return std::string(b, e);
+}
+
+double parse_double(const std::string& v, std::size_t lineno) {
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return d;
+  } catch (const std::exception&) {
+    throw core::ParseError("bad numeric value '" + v + "' on line " +
+                           std::to_string(lineno));
+  }
+}
+
+bool parse_bool(const std::string& v, std::size_t lineno) {
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw core::ParseError("bad boolean value '" + v + "' on line " +
+                         std::to_string(lineno));
+}
+
+}  // namespace
+
+ClusterSpec parse_cluster(const std::string& text) {
+  ClusterSpec spec;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw core::ParseError("expected key = value on line " +
+                             std::to_string(lineno));
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "nodes") {
+      spec.num_nodes = static_cast<int>(parse_double(value, lineno));
+    } else if (key == "node_flops") {
+      spec.node.flops = parse_double(value, lineno);
+    } else if (key == "link_bandwidth") {
+      spec.net.link_bandwidth = parse_double(value, lineno);
+    } else if (key == "link_latency") {
+      spec.net.link_latency = parse_double(value, lineno);
+    } else if (key == "backbone_bandwidth") {
+      spec.net.backbone_bandwidth = parse_double(value, lineno);
+    } else if (key == "backbone_latency") {
+      spec.net.backbone_latency = parse_double(value, lineno);
+    } else if (key == "shared_backbone") {
+      spec.net.shared_backbone = parse_bool(value, lineno);
+    } else if (key == "node_speeds") {
+      std::istringstream vs(value);
+      std::string tok;
+      spec.node_speeds.clear();
+      while (vs >> tok) spec.node_speeds.push_back(parse_double(tok, lineno));
+    } else {
+      throw core::ParseError("unknown key '" + key + "' on line " +
+                             std::to_string(lineno));
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+std::string to_text(const ClusterSpec& spec) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "name = " << spec.name << '\n';
+  os << "nodes = " << spec.num_nodes << '\n';
+  os << "node_flops = " << spec.node.flops << '\n';
+  os << "link_bandwidth = " << spec.net.link_bandwidth << '\n';
+  os << "link_latency = " << spec.net.link_latency << '\n';
+  os << "backbone_bandwidth = " << spec.net.backbone_bandwidth << '\n';
+  os << "backbone_latency = " << spec.net.backbone_latency << '\n';
+  os << "shared_backbone = " << (spec.net.shared_backbone ? "true" : "false")
+     << '\n';
+  if (!spec.node_speeds.empty()) {
+    os << "node_speeds =";
+    for (double v : spec.node_speeds) os << ' ' << v;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mtsched::platform

@@ -1,0 +1,69 @@
+// Brute-force platform profiling (paper Section VI).
+//
+// The profiler runs calibration jobs on the execution framework — it never
+// reads the ground-truth machine model directly — and aggregates the noisy
+// measurements into the lookup tables the ProfileModel consumes:
+//   * task execution times for every allocation p = 1..P and every
+//     (kernel, n) in the workload (Section VI-A);
+//   * task startup overheads from no-op applications, averaged over 20
+//     trials (Section VI-B, Figure 3);
+//   * redistribution protocol overheads for every (p_src, p_dst) pair from
+//     mostly-empty-matrix redistributions, 3 trials, then averaged over
+//     p_src because the overhead "depends mostly on p(dst)"
+//     (Section VI-C, Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mtsched/core/matrix.hpp"
+#include "mtsched/dag/dag.hpp"
+#include "mtsched/models/profile.hpp"
+#include "mtsched/tgrid/emulator.hpp"
+
+namespace mtsched::profiling {
+
+/// What to profile and how hard to average.
+struct ProfileConfig {
+  std::vector<int> matrix_dims = {2000, 3000};
+  std::vector<dag::TaskKernel> kernels = {dag::TaskKernel::MatMul,
+                                          dag::TaskKernel::MatAdd};
+  int exec_trials = 3;
+  int startup_trials = 20;  ///< the paper's Figure 3 averages 20 trials
+  int redist_trials = 3;    ///< the paper's Figure 4 averages 3 trials
+  std::uint64_t seed = 7;
+};
+
+class Profiler {
+ public:
+  /// `rig` is the instrumented execution framework on the target cluster.
+  explicit Profiler(const tgrid::TGridEmulator& rig) : rig_(rig) {}
+
+  /// Mean execution seconds of (k, n) for each requested p.
+  std::vector<double> exec_profile(dag::TaskKernel k, int n,
+                                   const std::vector<int>& ps, int trials,
+                                   std::uint64_t seed) const;
+
+  /// Mean startup seconds for each requested p.
+  std::vector<double> startup_profile(const std::vector<int>& ps, int trials,
+                                      std::uint64_t seed) const;
+
+  /// Mean redistribution overhead surface over all (p_src, p_dst) pairs
+  /// (P x P, indexed by p - 1).
+  core::Matrix<double> redist_surface(int trials, std::uint64_t seed) const;
+
+  /// Collapses the surface to a per-p_dst vector by averaging over p_src.
+  static std::vector<double> average_over_src(
+      const core::Matrix<double>& surface);
+
+  /// The full brute-force campaign: every p = 1..P for every (kernel, n),
+  /// the startup table, and the collapsed redistribution table.
+  models::ProfileTables brute_force(const ProfileConfig& cfg) const;
+
+  const tgrid::TGridEmulator& rig() const { return rig_; }
+
+ private:
+  const tgrid::TGridEmulator& rig_;
+};
+
+}  // namespace mtsched::profiling

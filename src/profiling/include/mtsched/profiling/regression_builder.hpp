@@ -1,0 +1,76 @@
+// Empirical model construction from sparse measurements (paper Section
+// VII, Table II).
+//
+// The paper first samples the powers of two p = {1,2,4,8,16,32} and finds
+// the fit ruined by outliers at p = 8 and p = 16 (Figure 6, left); it then
+// side-steps the outliers by sampling p = {2,4,7,15} for the hyperbolic
+// branch and {15,24,31} for the linear branch (Figure 6, right). Both
+// sampling plans are provided so Figure 6 can be reproduced.
+#pragma once
+
+#include <vector>
+
+#include "mtsched/models/empirical.hpp"
+#include "mtsched/profiling/profiler.hpp"
+
+namespace mtsched::profiling {
+
+/// How the regression coefficients are estimated from the samples.
+enum class FitMethod {
+  LeastSquares,  ///< the paper's choice; outliers in the samples hurt
+  TheilSen,      ///< median-based, tolerates a minority of outliers —
+                 ///< addresses the outlier challenge the paper's
+                 ///< conclusion raises for sparse-profile calibration
+};
+
+/// Which allocation sizes to measure for each regression.
+struct SamplePlan {
+  std::vector<int> mm_small_p;   ///< hyperbolic branch (p <= split)
+  std::vector<int> mm_large_p;   ///< linear branch (p > split, may be empty)
+  std::vector<int> add_p;        ///< single hyperbolic fit for additions
+  std::vector<int> overhead_p;   ///< startup + redistribution linear fits
+  int split = 16;
+  FitMethod method = FitMethod::LeastSquares;
+
+  /// The paper's final plan: p = {2,4,7,15} + {15,24,31}, additions over
+  /// {2,4,7,15,24,31}, overheads over {1,16,32} (Table II).
+  static SamplePlan robust();
+
+  /// The naive powers-of-two plan that trips over the outliers at 8 and 16
+  /// (Figure 6, left).
+  static SamplePlan naive();
+
+  /// The robust plan rescaled to a cluster of `num_nodes` processors
+  /// (num_nodes >= 4); sample points are spread like {2,4,7,15}+{15,24,31}
+  /// proportionally, the split sits at num_nodes / 2.
+  static SamplePlan scaled(int num_nodes);
+};
+
+/// One measured regression data set (kept for plotting Figure 6).
+struct FitData {
+  std::vector<double> p;
+  std::vector<double> seconds;
+};
+
+/// The fits plus their underlying measurements.
+struct EmpiricalBuild {
+  models::EmpiricalFits fits;
+  std::map<std::pair<dag::TaskKernel, int>, FitData> exec_data;
+  FitData startup_data;
+  FitData redist_data;
+};
+
+class RegressionBuilder {
+ public:
+  explicit RegressionBuilder(const Profiler& profiler)
+      : profiler_(profiler) {}
+
+  /// Measures per `plan` (with `cfg` trial counts and workload dimensions)
+  /// and fits the empirical models of Table II.
+  EmpiricalBuild build(const ProfileConfig& cfg, const SamplePlan& plan) const;
+
+ private:
+  const Profiler& profiler_;
+};
+
+}  // namespace mtsched::profiling

@@ -1,0 +1,113 @@
+#include "mtsched/profiling/profiler.hpp"
+
+#include <numeric>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/core/rng.hpp"
+
+namespace mtsched::profiling {
+
+namespace {
+std::uint64_t trial_seed(std::uint64_t base, std::uint64_t what, int trial) {
+  return core::hash_mix(base, what, static_cast<std::uint64_t>(trial));
+}
+}  // namespace
+
+std::vector<double> Profiler::exec_profile(dag::TaskKernel k, int n,
+                                           const std::vector<int>& ps,
+                                           int trials,
+                                           std::uint64_t seed) const {
+  MTSCHED_REQUIRE(trials >= 1, "need at least one trial");
+  MTSCHED_REQUIRE(!ps.empty(), "need at least one allocation size");
+  std::vector<double> means;
+  means.reserve(ps.size());
+  for (int p : ps) {
+    double sum = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      sum += rig_.measure_exec(
+          k, n, p,
+          trial_seed(seed, core::hash_mix(static_cast<std::uint64_t>(k),
+                                          static_cast<std::uint64_t>(n),
+                                          static_cast<std::uint64_t>(p)),
+                     t));
+    }
+    means.push_back(sum / static_cast<double>(trials));
+  }
+  return means;
+}
+
+std::vector<double> Profiler::startup_profile(const std::vector<int>& ps,
+                                              int trials,
+                                              std::uint64_t seed) const {
+  MTSCHED_REQUIRE(trials >= 1, "need at least one trial");
+  MTSCHED_REQUIRE(!ps.empty(), "need at least one allocation size");
+  std::vector<double> means;
+  means.reserve(ps.size());
+  for (int p : ps) {
+    double sum = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      sum += rig_.measure_startup(
+          p, trial_seed(seed, 0x5747 + static_cast<std::uint64_t>(p), t));
+    }
+    means.push_back(sum / static_cast<double>(trials));
+  }
+  return means;
+}
+
+core::Matrix<double> Profiler::redist_surface(int trials,
+                                              std::uint64_t seed) const {
+  MTSCHED_REQUIRE(trials >= 1, "need at least one trial");
+  const int P = rig_.spec().num_nodes;
+  core::Matrix<double> surface(static_cast<std::size_t>(P),
+                               static_cast<std::size_t>(P));
+  for (int s = 1; s <= P; ++s) {
+    for (int d = 1; d <= P; ++d) {
+      double sum = 0.0;
+      for (int t = 0; t < trials; ++t) {
+        sum += rig_.measure_redist_overhead(
+            s, d,
+            trial_seed(seed,
+                       core::hash_mix(static_cast<std::uint64_t>(s),
+                                      static_cast<std::uint64_t>(d)),
+                       t));
+      }
+      surface(static_cast<std::size_t>(s - 1),
+              static_cast<std::size_t>(d - 1)) =
+          sum / static_cast<double>(trials);
+    }
+  }
+  return surface;
+}
+
+std::vector<double> Profiler::average_over_src(
+    const core::Matrix<double>& surface) {
+  MTSCHED_REQUIRE(surface.rows() > 0 && surface.cols() > 0,
+                  "surface must be non-empty");
+  std::vector<double> by_dst(surface.cols());
+  for (std::size_t d = 0; d < surface.cols(); ++d) {
+    by_dst[d] = surface.col_total(d) / static_cast<double>(surface.rows());
+  }
+  return by_dst;
+}
+
+models::ProfileTables Profiler::brute_force(const ProfileConfig& cfg) const {
+  MTSCHED_REQUIRE(!cfg.matrix_dims.empty(), "no matrix dimensions to profile");
+  MTSCHED_REQUIRE(!cfg.kernels.empty(), "no kernels to profile");
+  const int P = rig_.spec().num_nodes;
+  std::vector<int> all_p(static_cast<std::size_t>(P));
+  std::iota(all_p.begin(), all_p.end(), 1);
+
+  models::ProfileTables tables;
+  for (dag::TaskKernel k : cfg.kernels) {
+    for (int n : cfg.matrix_dims) {
+      tables.exec[{k, n}] =
+          exec_profile(k, n, all_p, cfg.exec_trials, cfg.seed);
+    }
+  }
+  tables.startup = startup_profile(all_p, cfg.startup_trials, cfg.seed);
+  tables.redist_by_dst =
+      average_over_src(redist_surface(cfg.redist_trials, cfg.seed));
+  return tables;
+}
+
+}  // namespace mtsched::profiling

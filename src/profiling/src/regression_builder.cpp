@@ -1,0 +1,158 @@
+#include "mtsched/profiling/regression_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/stats/regression.hpp"
+
+namespace mtsched::profiling {
+
+SamplePlan SamplePlan::robust() {
+  SamplePlan plan;
+  plan.mm_small_p = {2, 4, 7, 15};
+  plan.mm_large_p = {15, 24, 31};
+  plan.add_p = {2, 4, 7, 15, 24, 31};
+  plan.overhead_p = {1, 16, 32};
+  plan.split = 16;
+  return plan;
+}
+
+SamplePlan SamplePlan::naive() {
+  SamplePlan plan;
+  plan.mm_small_p = {1, 2, 4, 8, 16};
+  plan.mm_large_p = {16, 24, 32};
+  plan.add_p = {1, 2, 4, 8, 16, 32};
+  plan.overhead_p = {1, 16, 32};
+  plan.split = 16;
+  return plan;
+}
+
+SamplePlan SamplePlan::scaled(int num_nodes) {
+  MTSCHED_REQUIRE(num_nodes >= 4, "scaled plans need at least 4 nodes");
+  if (num_nodes == 32) return robust();
+  const double f = static_cast<double>(num_nodes) / 32.0;
+  auto scale = [&](std::initializer_list<int> base) {
+    std::vector<int> out;
+    for (int p : base) {
+      const int v = std::clamp(
+          static_cast<int>(std::lround(p * f)), 2, num_nodes);
+      if (out.empty() || out.back() != v) out.push_back(v);
+    }
+    MTSCHED_REQUIRE(out.size() >= 2, "scaled plan degenerated");
+    return out;
+  };
+  SamplePlan plan;
+  plan.split = std::max(2, num_nodes / 2);
+  plan.mm_small_p = scale({2, 4, 7, 15});
+  plan.mm_large_p = scale({15, 24, 31});
+  plan.add_p = scale({2, 4, 7, 15, 24, 31});
+  plan.overhead_p = {1, std::max(2, num_nodes / 2), num_nodes};
+  return plan;
+}
+
+EmpiricalBuild RegressionBuilder::build(const ProfileConfig& cfg,
+                                        const SamplePlan& plan) const {
+  MTSCHED_REQUIRE(plan.mm_small_p.size() >= 2,
+                  "need >= 2 small-p samples for the hyperbolic branch");
+  MTSCHED_REQUIRE(plan.add_p.size() >= 2,
+                  "need >= 2 samples for the addition fit");
+  MTSCHED_REQUIRE(plan.overhead_p.size() >= 2,
+                  "need >= 2 samples for the overhead fits");
+
+  EmpiricalBuild out;
+
+  auto to_double = [](const std::vector<int>& v) {
+    std::vector<double> d(v.begin(), v.end());
+    return d;
+  };
+  const bool robust = plan.method == FitMethod::TheilSen;
+  auto fit_lin = [&](const std::vector<double>& x,
+                     const std::vector<double>& y) {
+    return robust ? stats::theil_sen_linear(x, y) : stats::fit_linear(x, y);
+  };
+  auto fit_hyp = [&](const std::vector<double>& x,
+                     const std::vector<double>& y) {
+    return robust ? stats::theil_sen_hyperbolic(x, y)
+                  : stats::fit_hyperbolic(x, y);
+  };
+
+  for (int n : cfg.matrix_dims) {
+    // Matrix multiplication: piecewise hyperbolic + linear. The branches
+    // are fitted over exactly the plan's point sets (the paper's linear
+    // branch includes p = 15, below the split, as an anchor point).
+    {
+      const auto ys_small =
+          profiler_.exec_profile(dag::TaskKernel::MatMul, n, plan.mm_small_p,
+                                 cfg.exec_trials, cfg.seed);
+      stats::PiecewiseFit pw;
+      pw.split = plan.split;
+      pw.small_p = fit_hyp(to_double(plan.mm_small_p), ys_small);
+      FitData data{to_double(plan.mm_small_p), ys_small};
+      if (plan.mm_large_p.size() >= 2) {
+        const auto ys_large = profiler_.exec_profile(
+            dag::TaskKernel::MatMul, n, plan.mm_large_p, cfg.exec_trials,
+            cfg.seed);
+        pw.large_p = fit_lin(to_double(plan.mm_large_p), ys_large);
+        pw.has_large = true;
+        for (std::size_t i = 0; i < plan.mm_large_p.size(); ++i) {
+          data.p.push_back(static_cast<double>(plan.mm_large_p[i]));
+          data.seconds.push_back(ys_large[i]);
+        }
+      }
+      out.exec_data[{dag::TaskKernel::MatMul, n}] = data;
+      out.fits.exec[{dag::TaskKernel::MatMul, n}] = pw;
+    }
+    // Matrix addition: single hyperbolic model over all samples.
+    {
+      const auto ys = profiler_.exec_profile(dag::TaskKernel::MatAdd, n,
+                                             plan.add_p, cfg.exec_trials,
+                                             cfg.seed);
+      FitData data{to_double(plan.add_p), ys};
+      stats::PiecewiseFit pw;
+      pw.split = profiler_.rig().spec().num_nodes;  // hyperbolic everywhere
+      pw.small_p = fit_hyp(data.p, data.seconds);
+      pw.has_large = false;
+      out.exec_data[{dag::TaskKernel::MatAdd, n}] = data;
+      out.fits.exec[{dag::TaskKernel::MatAdd, n}] = pw;
+    }
+  }
+
+  // Startup overhead: linear in p.
+  {
+    const auto ys = profiler_.startup_profile(plan.overhead_p,
+                                              cfg.startup_trials, cfg.seed);
+    out.startup_data = FitData{to_double(plan.overhead_p), ys};
+    out.fits.startup =
+        fit_lin(out.startup_data.p, out.startup_data.seconds);
+  }
+
+  // Redistribution overhead: linear in p_dst, measurements averaged over
+  // the same sparse p_src values.
+  {
+    std::vector<double> ys;
+    for (int d : plan.overhead_p) {
+      double sum = 0.0;
+      for (int s : plan.overhead_p) {
+        double trial_sum = 0.0;
+        for (int t = 0; t < cfg.redist_trials; ++t) {
+          trial_sum += profiler_.rig().measure_redist_overhead(
+              s, d,
+              core::hash_mix(cfg.seed,
+                             core::hash_mix(static_cast<std::uint64_t>(s),
+                                            static_cast<std::uint64_t>(d)),
+                             static_cast<std::uint64_t>(t)));
+        }
+        sum += trial_sum / static_cast<double>(cfg.redist_trials);
+      }
+      ys.push_back(sum / static_cast<double>(plan.overhead_p.size()));
+    }
+    out.redist_data = FitData{to_double(plan.overhead_p), ys};
+    out.fits.redist =
+        fit_lin(out.redist_data.p, out.redist_data.seconds);
+  }
+
+  return out;
+}
+
+}  // namespace mtsched::profiling

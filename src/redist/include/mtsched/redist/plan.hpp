@@ -1,0 +1,44 @@
+// Data redistribution planning (paper Section IV-2).
+//
+// When task u consumes the matrix produced by task t, and t and u ran on
+// different processor sets (or the same set with different sizes), the
+// matrix must be redistributed from t's 1-D layout to u's 1-D layout. The
+// messages are fully determined by the overlaps of the two layouts' column
+// intervals; this module computes that byte matrix. TGrid performs exactly
+// these point-to-point transfers; the simulator feeds the same matrix into
+// the parallel-task network model.
+#pragma once
+
+#include <vector>
+
+#include "mtsched/core/matrix.hpp"
+#include "mtsched/redist/layout.hpp"
+
+namespace mtsched::redist {
+
+/// Byte matrix of a redistribution: entry (i, j) is the number of bytes
+/// source rank i must send to destination rank j.
+struct RedistPlan {
+  core::Matrix<double> bytes;  ///< p_src rows, p_dst columns
+
+  int p_src() const { return static_cast<int>(bytes.rows()); }
+  int p_dst() const { return static_cast<int>(bytes.cols()); }
+
+  /// Total payload (equals the full matrix size when layouts cover it).
+  double total_bytes() const { return bytes.total(); }
+
+  /// Number of nonzero point-to-point messages.
+  int num_messages() const;
+};
+
+/// Computes the redistribution plan for an n-by-n matrix moving from a
+/// 1-D column-block layout over p_src processors to one over p_dst
+/// processors. If `same_node(i, j)` pairs map to the same physical node the
+/// caller may zero those entries; the plan itself is purely logical.
+RedistPlan plan_block_redistribution(int n, int p_src, int p_dst);
+
+/// The overlap in *columns* between source rank i and destination rank j.
+int overlap_columns(const BlockLayout1D& src, const BlockLayout1D& dst, int i,
+                    int j);
+
+}  // namespace mtsched::redist

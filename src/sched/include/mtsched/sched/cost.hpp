@@ -1,0 +1,46 @@
+// Cost oracle consulted by the scheduling algorithms.
+//
+// In the paper the schedulers run *inside the simulator* and therefore see
+// the world through whatever cost model the simulator uses (analytical,
+// profile-based or empirical). This interface is that lens; adapters over
+// the concrete simulator cost models live in mtsched::models.
+#pragma once
+
+#include "mtsched/dag/dag.hpp"
+
+namespace mtsched::sched {
+
+class SchedCost {
+ public:
+  virtual ~SchedCost() = default;
+
+  /// Estimated execution time of task t on p processors (excluding task
+  /// startup overhead). Must be positive for all 1 <= p <= P.
+  virtual double exec_time(const dag::Task& t, int p) const = 0;
+
+  /// Estimated task startup overhead for an allocation of p processors
+  /// (zero under the purely analytical model).
+  virtual double startup_time(int p) const = 0;
+
+  /// Estimated time to redistribute `producer`'s output matrix from p_src
+  /// to p_dst processors (payload plus protocol overhead, as far as the
+  /// model knows about either).
+  virtual double redist_time(const dag::Task& producer, int p_src,
+                             int p_dst) const = 0;
+
+  /// The protocol-overhead share of redist_time (zero under the purely
+  /// analytical model). Redistribution-aware mapping discounts the payload
+  /// share when processor sets overlap, but never the protocol share.
+  virtual double redist_overhead_time(int p_src, int p_dst) const {
+    (void)p_src;
+    (void)p_dst;
+    return 0.0;
+  }
+
+  /// Total per-task time the allocation phase reasons about.
+  double task_time(const dag::Task& t, int p) const {
+    return exec_time(t, p) + startup_time(p);
+  }
+};
+
+}  // namespace mtsched::sched

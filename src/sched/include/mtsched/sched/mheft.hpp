@@ -1,0 +1,35 @@
+// M-HEFT: mixed-parallel HEFT, the one-phase competitor the CPA family is
+// usually compared against (cf. the paper's reference [12], N'takpé/Suter/
+// Casanova 2007).
+//
+// Unlike the two-step CPA algorithms, M-HEFT decides each task's
+// allocation *and* placement together: tasks are visited in decreasing
+// bottom-level order, and for every candidate allocation size p the
+// earliest-finish-time placement is evaluated (processor availability +
+// data readiness + execution time under the cost model); the (p, set)
+// pair with the earliest finish wins, with ties broken toward fewer
+// processors.
+#pragma once
+
+#include "mtsched/dag/dag.hpp"
+#include "mtsched/sched/cost.hpp"
+#include "mtsched/sched/schedule.hpp"
+
+namespace mtsched::sched {
+
+class MHeftScheduler {
+ public:
+  /// `cost` must outlive the scheduler. `max_alloc` optionally caps the
+  /// candidate allocation sizes (0 = up to P).
+  MHeftScheduler(const SchedCost& cost, int num_procs, int max_alloc = 0);
+
+  /// Computes a complete schedule; validates before returning.
+  Schedule schedule(const dag::Dag& g) const;
+
+ private:
+  const SchedCost& cost_;
+  int num_procs_;
+  int max_alloc_;
+};
+
+}  // namespace mtsched::sched

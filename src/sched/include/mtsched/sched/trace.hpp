@@ -1,0 +1,47 @@
+// Execution traces: the per-task and per-edge timing record produced when
+// a schedule is replayed, by the simulator or by the execution framework.
+// The span structure mirrors the TGrid task lifecycle:
+//   startup (JVM spawn) -> wait for inbound redistributions -> compute.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mtsched/dag/dag.hpp"
+
+namespace mtsched::sched {
+
+/// Timing of one executed task.
+struct TaskSpan {
+  double startup_begin = 0.0;  ///< processors seized, startup begins
+  double exec_begin = 0.0;     ///< computation begins (data available)
+  double finish = 0.0;         ///< output complete, processors released
+};
+
+/// Timing of one executed redistribution (DAG edge).
+struct EdgeSpan {
+  dag::TaskId src = dag::kInvalidTask;
+  dag::TaskId dst = dag::kInvalidTask;
+  double request = 0.0;   ///< both sides ready, registration requested
+  double transfer = 0.0;  ///< payload transfer begins
+  double done = 0.0;      ///< data available at the destination
+};
+
+/// Full replay record.
+struct RunTrace {
+  std::vector<TaskSpan> tasks;  ///< indexed by TaskId
+  std::vector<EdgeSpan> edges;  ///< in DAG edge order
+  double makespan = 0.0;
+
+  /// ASCII Gantt chart over the given processor assignment (one row per
+  /// processor, `width` character columns spanning [0, makespan]).
+  std::string ascii_gantt(const dag::Dag& g,
+                          const std::vector<std::vector<int>>& procs_of_task,
+                          int num_procs, int width = 100) const;
+
+  /// CSV rows: task,<id>,<startup_begin>,<exec_begin>,<finish> and
+  /// edge,<src>,<dst>,<request>,<transfer>,<done>.
+  std::string to_csv() const;
+};
+
+}  // namespace mtsched::sched

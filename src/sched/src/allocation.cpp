@@ -1,0 +1,218 @@
+#include "mtsched/sched/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::sched {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Per-task times under the current allocation.
+std::vector<double> task_times(const dag::Dag& g, const SchedCost& cost,
+                               const std::vector<int>& alloc) {
+  std::vector<double> tau(g.num_tasks());
+  for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
+    tau[t] = cost.task_time(g.task(t), alloc[t]);
+    MTSCHED_INVARIANT(tau[t] > 0.0, "task time must be positive");
+  }
+  return tau;
+}
+
+struct Levels {
+  std::vector<double> top;     ///< longest path length ending before t
+  std::vector<double> bottom;  ///< longest path length from t inclusive
+  double t_cp = 0.0;
+};
+
+/// Top/bottom levels with zero edge weights (classic CPA uses computation
+/// times only during allocation).
+Levels levels(const dag::Dag& g, const std::vector<double>& tau) {
+  Levels lv;
+  lv.top.assign(g.num_tasks(), 0.0);
+  lv.bottom.assign(g.num_tasks(), 0.0);
+  const auto order = g.topological_order();
+  for (dag::TaskId t : order) {
+    for (dag::TaskId p : g.predecessors(t)) {
+      lv.top[t] = std::max(lv.top[t], lv.top[p] + tau[p]);
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const dag::TaskId t = *it;
+    lv.bottom[t] = tau[t];
+    for (dag::TaskId s : g.successors(t)) {
+      lv.bottom[t] = std::max(lv.bottom[t], tau[t] + lv.bottom[s]);
+    }
+    lv.t_cp = std::max(lv.t_cp, lv.top[t] + lv.bottom[t]);
+  }
+  return lv;
+}
+
+double average_area(const dag::Dag& g, const SchedCost& cost,
+                    const std::vector<int>& alloc, int P) {
+  double area = 0.0;
+  for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
+    area += static_cast<double>(alloc[t]) * cost.task_time(g.task(t), alloc[t]);
+  }
+  return area / static_cast<double>(P);
+}
+
+/// Growth gate customization point for the three algorithms. `may_grow`
+/// must be a pure predicate; `on_grow` is invoked once per actual growth.
+using GrowGate = std::function<bool(dag::TaskId, int /*new_p*/)>;
+using OnGrow = std::function<void(dag::TaskId)>;
+
+std::vector<int> cpa_skeleton(const dag::Dag& g, const SchedCost& cost, int P,
+                              const GrowGate& may_grow,
+                              const OnGrow& on_grow = {}) {
+  MTSCHED_REQUIRE(P >= 1, "cluster must have at least one processor");
+  MTSCHED_REQUIRE(g.num_tasks() > 0, "cannot allocate an empty DAG");
+  std::vector<int> alloc(g.num_tasks(), 1);
+  auto tau = task_times(g, cost, alloc);
+
+  // Each iteration adds one processor to one task; the loop is bounded by
+  // the total allocation head-room.
+  const std::size_t max_iter = g.num_tasks() * static_cast<std::size_t>(P);
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    const auto lv = levels(g, tau);
+    const double t_a = average_area(g, cost, alloc, P);
+    if (lv.t_cp <= t_a + kEps) break;  // work-bound: stop growing
+
+    // Candidate: the critical-path task with the largest gain. As in the
+    // original CPA, the gain may be small or even negative on bumpy cost
+    // curves — the loop is driven by the T_CP/T_A criterion alone, which
+    // is exactly how CPA comes to over-allocate.
+    dag::TaskId best = dag::kInvalidTask;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
+      if (lv.top[t] + lv.bottom[t] < lv.t_cp - 1e-9 * lv.t_cp) continue;
+      if (alloc[t] >= P) continue;
+      const int np = alloc[t] + 1;
+      if (!may_grow(t, np)) continue;
+      const double tau_new = cost.task_time(g.task(t), np);
+      const double gain = tau[t] / static_cast<double>(alloc[t]) -
+                          tau_new / static_cast<double>(np);
+      if (gain > best_gain + kEps) {
+        best_gain = gain;
+        best = t;
+      }
+    }
+    if (best == dag::kInvalidTask) break;  // nothing can usefully grow
+    alloc[best] += 1;
+    tau[best] = cost.task_time(g.task(best), alloc[best]);
+    if (on_grow) on_grow(best);
+  }
+  return alloc;
+}
+
+}  // namespace
+
+CpaMetrics cpa_metrics(const dag::Dag& g, const SchedCost& cost,
+                       const std::vector<int>& alloc, int P) {
+  MTSCHED_REQUIRE(alloc.size() == g.num_tasks(),
+                  "allocation vector size mismatch");
+  const auto tau = task_times(g, cost, alloc);
+  CpaMetrics m;
+  m.t_cp = levels(g, tau).t_cp;
+  m.t_a = average_area(g, cost, alloc, P);
+  return m;
+}
+
+std::vector<int> CpaAllocator::allocate(const dag::Dag& g,
+                                        const SchedCost& cost, int P) const {
+  return cpa_skeleton(g, cost, P, [](dag::TaskId, int) { return true; });
+}
+
+HcpaAllocator::HcpaAllocator(double min_efficiency)
+    : min_efficiency_(min_efficiency) {
+  MTSCHED_REQUIRE(min_efficiency > 0.0 && min_efficiency <= 1.0,
+                  "min_efficiency must be in (0, 1]");
+}
+
+std::vector<int> HcpaAllocator::allocate(const dag::Dag& g,
+                                         const SchedCost& cost, int P) const {
+  // Self-constrained cap: no task may use more than ceil(P / omega)
+  // processors, where omega is the DAG's maximum precedence-level width —
+  // enough processors always remain for the task parallelism the DAG can
+  // offer. The cap binds under every cost model, including the analytical
+  // one whose ideal speedup curves never trip the efficiency gate; this is
+  // what makes HCPA's allocations structurally smaller than MCPA's.
+  const auto levels = g.precedence_levels();
+  std::vector<int> width(static_cast<std::size_t>(g.num_levels()), 0);
+  for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
+    ++width[static_cast<std::size_t>(levels[t])];
+  }
+  const int omega = *std::max_element(width.begin(), width.end());
+  const int cap = std::max(
+      1, static_cast<int>(std::ceil(static_cast<double>(P) /
+                                    static_cast<double>(omega))));
+  // Cache tau(t, 1) for the efficiency gate.
+  std::vector<double> tau1(g.num_tasks());
+  for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
+    tau1[t] = cost.task_time(g.task(t), 1);
+  }
+  const double min_eff = min_efficiency_;
+  return cpa_skeleton(g, cost, P, [&](dag::TaskId t, int np) {
+    if (np > cap) return false;
+    // Envelope check: growth stops only on *sustained* inefficiency. A
+    // single inefficient point (e.g. a p = 8 cache outlier in a profiled
+    // cost curve) does not wall off all larger allocations.
+    const auto eff = [&](int p) {
+      return tau1[t] / (static_cast<double>(p) * cost.task_time(g.task(t), p));
+    };
+    if (eff(np) >= min_eff) return true;
+    return np < P && eff(np + 1) >= min_eff;
+  });
+}
+
+std::vector<int> McpaAllocator::allocate(const dag::Dag& g,
+                                         const SchedCost& cost, int P) const {
+  const auto level = g.precedence_levels();
+  const int num_levels = g.num_levels();
+  // Running total allocation per precedence level (starts at one processor
+  // per task, matching the skeleton's initial allocation).
+  std::vector<int> level_total(static_cast<std::size_t>(num_levels), 0);
+  for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
+    ++level_total[static_cast<std::size_t>(level[t])];
+  }
+  return cpa_skeleton(
+      g, cost, P,
+      [&](dag::TaskId t, int) {
+        return level_total[static_cast<std::size_t>(level[t])] < P;
+      },
+      [&](dag::TaskId t) {
+        ++level_total[static_cast<std::size_t>(level[t])];
+      });
+}
+
+std::vector<int> SerialAllocator::allocate(const dag::Dag& g,
+                                           const SchedCost& cost,
+                                           int P) const {
+  (void)cost;
+  MTSCHED_REQUIRE(P >= 1, "cluster must have at least one processor");
+  return std::vector<int>(g.num_tasks(), 1);
+}
+
+std::vector<int> MaxParAllocator::allocate(const dag::Dag& g,
+                                           const SchedCost& cost,
+                                           int P) const {
+  (void)cost;
+  MTSCHED_REQUIRE(P >= 1, "cluster must have at least one processor");
+  return std::vector<int>(g.num_tasks(), P);
+}
+
+std::unique_ptr<Allocator> make_allocator(const std::string& name) {
+  if (name == "CPA") return std::make_unique<CpaAllocator>();
+  if (name == "HCPA") return std::make_unique<HcpaAllocator>();
+  if (name == "MCPA") return std::make_unique<McpaAllocator>();
+  if (name == "SEQ") return std::make_unique<SerialAllocator>();
+  if (name == "MAXPAR") return std::make_unique<MaxParAllocator>();
+  throw core::InvalidArgument("unknown allocator '" + name + "'");
+}
+
+}  // namespace mtsched::sched

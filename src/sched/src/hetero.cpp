@@ -1,0 +1,151 @@
+#include "mtsched/sched/hetero.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::sched {
+
+VirtualCluster::VirtualCluster(const platform::ClusterSpec& spec)
+    : spec_(spec) {
+  spec_.validate();
+  virtual_procs_ = std::max(
+      1, static_cast<int>(std::floor(spec_.total_flops() / spec_.node.flops)));
+}
+
+std::vector<int> VirtualCluster::translate(
+    int virtual_alloc, const std::vector<int>& preference) const {
+  MTSCHED_REQUIRE(virtual_alloc >= 1, "virtual allocation must be >= 1");
+  MTSCHED_REQUIRE(!preference.empty(), "preference list must be non-empty");
+  const double target =
+      static_cast<double>(virtual_alloc) * spec_.node.flops;
+  std::vector<int> chosen;
+  double s_min = 0.0;
+  for (int node : preference) {
+    MTSCHED_REQUIRE(node >= 0 && node < spec_.num_nodes,
+                    "preference entry out of range");
+    chosen.push_back(node);
+    s_min = chosen.size() == 1 ? spec_.flops_of(node)
+                               : std::min(s_min, spec_.flops_of(node));
+    // Discounted aggregate: every member paced by the slowest.
+    if (static_cast<double>(chosen.size()) * s_min >= target) break;
+  }
+  return chosen;  // possibly the whole preference list (clamped allocation)
+}
+
+HeteroListMapper::HeteroListMapper(const platform::ClusterSpec& spec)
+    : vc_(spec) {}
+
+Schedule HeteroListMapper::map(const dag::Dag& g,
+                               const std::vector<int>& virtual_alloc,
+                               const SchedCost& cost) const {
+  const auto& spec = vc_.spec();
+  const int P = spec.num_nodes;
+  MTSCHED_REQUIRE(virtual_alloc.size() == g.num_tasks(),
+                  "allocation vector size mismatch");
+  for (int a : virtual_alloc) {
+    MTSCHED_REQUIRE(a >= 1 && a <= vc_.virtual_procs(),
+                    "virtual allocations must be in [1, virtual_procs]");
+  }
+
+  // Priorities: bottom levels with virtual-cluster times.
+  std::vector<double> tau(g.num_tasks());
+  for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
+    tau[t] = cost.task_time(g.task(t), virtual_alloc[t]);
+  }
+  std::vector<double> bl(g.num_tasks(), 0.0);
+  const auto order = g.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const dag::TaskId t = *it;
+    bl[t] = tau[t];
+    for (dag::TaskId s : g.successors(t)) {
+      bl[t] = std::max(bl[t], tau[t] + bl[s]);
+    }
+  }
+  std::vector<dag::TaskId> priority(g.num_tasks());
+  std::iota(priority.begin(), priority.end(), 0);
+  std::stable_sort(priority.begin(), priority.end(),
+                   [&](dag::TaskId a, dag::TaskId b) {
+                     if (bl[a] != bl[b]) return bl[a] > bl[b];
+                     return a < b;
+                   });
+
+  Schedule s;
+  s.placements.resize(g.num_tasks());
+  s.proc_order.assign(static_cast<std::size_t>(P), {});
+  std::vector<double> proc_ready(static_cast<std::size_t>(P), 0.0);
+  std::vector<bool> placed(g.num_tasks(), false);
+
+  for (std::size_t done = 0; done < g.num_tasks(); ++done) {
+    dag::TaskId chosen = dag::kInvalidTask;
+    for (dag::TaskId cand : priority) {
+      if (placed[cand]) continue;
+      bool ready = true;
+      for (dag::TaskId q : g.predecessors(cand)) {
+        if (!placed[q]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        chosen = cand;
+        break;
+      }
+    }
+    MTSCHED_INVARIANT(chosen != dag::kInvalidTask, "no ready task");
+
+    // Preference: earliest-available first, faster node on ties — this
+    // also groups similar-speed nodes, limiting the slowest-member
+    // discount.
+    std::vector<int> pref(static_cast<std::size_t>(P));
+    std::iota(pref.begin(), pref.end(), 0);
+    std::stable_sort(pref.begin(), pref.end(), [&](int a, int b) {
+      const double ra = proc_ready[static_cast<std::size_t>(a)];
+      const double rb = proc_ready[static_cast<std::size_t>(b)];
+      if (ra != rb) return ra < rb;
+      return spec.flops_of(a) > spec.flops_of(b);
+    });
+    auto procs = vc_.translate(virtual_alloc[chosen], pref);
+    std::sort(procs.begin(), procs.end());
+
+    double data_ready = 0.0;
+    for (dag::TaskId q : g.predecessors(chosen)) {
+      const auto& qp = s.placements[q];
+      data_ready = std::max(
+          data_ready,
+          qp.est_finish + cost.redist_time(
+                              g.task(q), static_cast<int>(qp.procs.size()),
+                              static_cast<int>(procs.size())));
+    }
+    double avail = 0.0;
+    for (int pr : procs) {
+      avail = std::max(avail, proc_ready[static_cast<std::size_t>(pr)]);
+    }
+    const double start = std::max(data_ready, avail);
+    // Execution estimate: the virtual-cluster time, corrected by how the
+    // chosen physical set actually performs (slowest-member pacing).
+    const double k_eff = static_cast<double>(procs.size()) /
+                         platform::exec_slowdown(spec, procs);
+    const int p_eff = std::clamp(
+        static_cast<int>(std::lround(k_eff)), 1, vc_.virtual_procs());
+    const double finish = start + cost.task_time(g.task(chosen), p_eff);
+
+    auto& pl = s.placements[chosen];
+    pl.procs = procs;
+    pl.est_start = start;
+    pl.est_finish = finish;
+    for (int pr : procs) {
+      proc_ready[static_cast<std::size_t>(pr)] = finish;
+      s.proc_order[static_cast<std::size_t>(pr)].push_back(chosen);
+    }
+    placed[chosen] = true;
+    s.est_makespan = std::max(s.est_makespan, finish);
+  }
+
+  validate_schedule(g, s, P);
+  return s;
+}
+
+}  // namespace mtsched::sched

@@ -1,0 +1,134 @@
+#include "mtsched/sched/schedule.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <string>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::sched {
+
+const TaskPlacement& Schedule::placement(dag::TaskId t) const {
+  MTSCHED_REQUIRE(t < placements.size(), "task has no placement");
+  return placements[t];
+}
+
+std::vector<int> Schedule::allocation() const {
+  std::vector<int> a;
+  a.reserve(placements.size());
+  for (const auto& p : placements) a.push_back(static_cast<int>(p.procs.size()));
+  return a;
+}
+
+namespace {
+constexpr double kTimeTol = 1e-9;
+
+std::vector<std::pair<dag::TaskId, dag::TaskId>> proc_order_edges(
+    const Schedule& s) {
+  std::vector<std::pair<dag::TaskId, dag::TaskId>> edges;
+  for (const auto& order : s.proc_order) {
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      edges.emplace_back(order[i - 1], order[i]);
+    }
+  }
+  return edges;
+}
+}  // namespace
+
+void validate_schedule(const dag::Dag& g, const Schedule& s, int num_procs) {
+  MTSCHED_REQUIRE(s.placements.size() == g.num_tasks(),
+                  "schedule must place every task exactly once");
+  MTSCHED_REQUIRE(s.proc_order.size() == static_cast<std::size_t>(num_procs),
+                  "schedule must carry one order per processor");
+
+  // Placement sanity and the processor -> tasks cross-check.
+  std::vector<std::set<dag::TaskId>> on_proc(
+      static_cast<std::size_t>(num_procs));
+  for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
+    const auto& pl = s.placements[t];
+    MTSCHED_REQUIRE(!pl.procs.empty(), "task " + std::to_string(t) +
+                                           " has an empty allocation");
+    std::set<int> distinct(pl.procs.begin(), pl.procs.end());
+    MTSCHED_REQUIRE(distinct.size() == pl.procs.size(),
+                    "task " + std::to_string(t) +
+                        " lists a processor more than once");
+    for (int pr : pl.procs) {
+      MTSCHED_REQUIRE(pr >= 0 && pr < num_procs,
+                      "task " + std::to_string(t) +
+                          " placed on out-of-range processor");
+      on_proc[static_cast<std::size_t>(pr)].insert(t);
+    }
+    MTSCHED_REQUIRE(pl.est_finish >= pl.est_start - kTimeTol,
+                    "task " + std::to_string(t) + " finishes before it starts");
+  }
+  for (int pr = 0; pr < num_procs; ++pr) {
+    const auto& order = s.proc_order[static_cast<std::size_t>(pr)];
+    std::set<dag::TaskId> in_order(order.begin(), order.end());
+    MTSCHED_REQUIRE(in_order.size() == order.size(),
+                    "processor order lists a task twice");
+    MTSCHED_REQUIRE(in_order == on_proc[static_cast<std::size_t>(pr)],
+                    "processor " + std::to_string(pr) +
+                        " order disagrees with task placements");
+    // No overlap between consecutive tasks on this processor.
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      const auto& prev = s.placements[order[i - 1]];
+      const auto& next = s.placements[order[i]];
+      MTSCHED_REQUIRE(next.est_start >= prev.est_finish - kTimeTol,
+                      "tasks overlap on processor " + std::to_string(pr));
+    }
+  }
+  // Precedence on predicted times.
+  for (const auto& e : g.edges()) {
+    MTSCHED_REQUIRE(
+        s.placements[e.dst].est_start >=
+            s.placements[e.src].est_finish - kTimeTol,
+        "task " + std::to_string(e.dst) + " starts before predecessor " +
+            std::to_string(e.src) + " finishes");
+  }
+  // Deadlock-freedom of the combined relation.
+  (void)replay_order(g, s);
+}
+
+std::vector<dag::TaskId> replay_order(const dag::Dag& g, const Schedule& s) {
+  const std::size_t n = g.num_tasks();
+  std::vector<std::vector<dag::TaskId>> succ(n);
+  std::vector<std::size_t> indeg(n, 0);
+  auto add = [&](dag::TaskId a, dag::TaskId b) {
+    succ[a].push_back(b);
+    ++indeg[b];
+  };
+  for (const auto& e : g.edges()) add(e.src, e.dst);
+  for (const auto& [a, b] : proc_order_edges(s)) add(a, b);
+
+  std::priority_queue<dag::TaskId, std::vector<dag::TaskId>, std::greater<>>
+      ready;
+  for (dag::TaskId t = 0; t < n; ++t)
+    if (indeg[t] == 0) ready.push(t);
+  std::vector<dag::TaskId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const dag::TaskId t = ready.top();
+    ready.pop();
+    order.push_back(t);
+    for (dag::TaskId u : succ[t])
+      if (--indeg[u] == 0) ready.push(u);
+  }
+  MTSCHED_REQUIRE(order.size() == n,
+                  "DAG edges plus processor orders contain a cycle "
+                  "(replay would deadlock)");
+  return order;
+}
+
+std::vector<std::vector<dag::TaskId>> order_predecessors(const dag::Dag& g,
+                                                         const Schedule& s) {
+  std::vector<std::set<dag::TaskId>> sets(g.num_tasks());
+  for (const auto& [a, b] : proc_order_edges(s)) sets[b].insert(a);
+  std::vector<std::vector<dag::TaskId>> out(g.num_tasks());
+  for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
+    out[t].assign(sets[t].begin(), sets[t].end());
+  }
+  return out;
+}
+
+}  // namespace mtsched::sched

@@ -1,0 +1,71 @@
+#include "mtsched/sched/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::sched {
+
+std::string RunTrace::ascii_gantt(
+    const dag::Dag& g, const std::vector<std::vector<int>>& procs_of_task,
+    int num_procs, int width) const {
+  MTSCHED_REQUIRE(tasks.size() == g.num_tasks(),
+                  "trace does not match the DAG");
+  MTSCHED_REQUIRE(procs_of_task.size() == g.num_tasks(),
+                  "placement does not match the DAG");
+  MTSCHED_REQUIRE(width > 0, "width must be positive");
+  const double span = makespan > 0.0 ? makespan : 1.0;
+  auto col = [&](double t) {
+    const double x = std::clamp(t / span, 0.0, 1.0);
+    return static_cast<std::size_t>(
+        std::min<double>(std::lround(x * (width - 1)),
+                         static_cast<double>(width - 1)));
+  };
+  // One lane per processor; 's' marks startup, the task-id letter marks
+  // computation.
+  std::vector<std::string> lanes(static_cast<std::size_t>(num_procs),
+                                 std::string(static_cast<std::size_t>(width),
+                                             '.'));
+  for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
+    const char mark =
+        static_cast<char>('A' + static_cast<int>(t % 26));
+    for (int pr : procs_of_task[t]) {
+      MTSCHED_REQUIRE(pr >= 0 && pr < num_procs, "processor out of range");
+      auto& lane = lanes[static_cast<std::size_t>(pr)];
+      for (std::size_t c = col(tasks[t].startup_begin);
+           c <= col(tasks[t].exec_begin); ++c) {
+        lane[c] = 's';
+      }
+      for (std::size_t c = col(tasks[t].exec_begin); c <= col(tasks[t].finish);
+           ++c) {
+        lane[c] = mark;
+      }
+    }
+  }
+  std::ostringstream os;
+  os << "time 0 .. " << makespan << " s\n";
+  for (int pr = 0; pr < num_procs; ++pr) {
+    os << (pr < 10 ? " p" : "p") << pr << " |"
+       << lanes[static_cast<std::size_t>(pr)] << "|\n";
+  }
+  return os.str();
+}
+
+std::string RunTrace::to_csv() const {
+  std::ostringstream os;
+  os.precision(9);
+  os << "record,a,b,c,d,e\n";
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    os << "task," << t << ',' << tasks[t].startup_begin << ','
+       << tasks[t].exec_begin << ',' << tasks[t].finish << ",\n";
+  }
+  for (const auto& e : edges) {
+    os << "edge," << e.src << ',' << e.dst << ',' << e.request << ','
+       << e.transfer << ',' << e.done << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mtsched::sched

@@ -1,0 +1,48 @@
+// The simulator front-end: replays a schedule on the discrete-event engine
+// under a given cost model and reports the simulated makespan and trace.
+//
+// Replay semantics (identical to the execution framework's, minus its
+// real-world overdynamics):
+//   * a task seizes its processors when all tasks preceding it in any of
+//     its processors' orders have finished;
+//   * a redistribution starts when its producer finishes: the model's
+//     protocol overhead (zero for the analytical model) elapses first,
+//     then the payload is transferred through the simulated network as a
+//     communication-only parallel task (contention included);
+//   * a task begins executing when it has its processors and all inbound
+//     redistributions are done; its execution is either a fluid parallel
+//     task (analytical model: flop vector + ring byte matrix) or a fixed
+//     duration (profile/empirical models: measured/regressed time plus
+//     startup overhead);
+//   * the makespan is the completion time of the last task.
+//
+// The simulator is deterministic: no randomness exists in any cost model.
+#pragma once
+
+#include "mtsched/dag/dag.hpp"
+#include "mtsched/models/cost_model.hpp"
+#include "mtsched/platform/cluster.hpp"
+#include "mtsched/sched/schedule.hpp"
+#include "mtsched/sched/trace.hpp"
+
+namespace mtsched::sim {
+
+class Simulator {
+ public:
+  /// `model` must outlive the simulator. The platform spec is taken from
+  /// the model (cost models are platform-bound).
+  explicit Simulator(const models::CostModel& model);
+
+  /// Simulates one schedule replay. Validates the schedule first.
+  sched::RunTrace run(const dag::Dag& g, const sched::Schedule& s) const;
+
+  /// Convenience: simulated makespan only.
+  double makespan(const dag::Dag& g, const sched::Schedule& s) const;
+
+  const models::CostModel& model() const { return model_; }
+
+ private:
+  const models::CostModel& model_;
+};
+
+}  // namespace mtsched::sim

@@ -1,0 +1,88 @@
+// Cluster resource wiring and the parallel-task (Ptask_L07-style) model.
+//
+// Maps a platform::ClusterSpec onto engine resources:
+//   * one compute resource per node (capacity = flop/s),
+//   * one uplink and one downlink resource per node (capacity = bytes/s,
+//     full duplex as in SimGrid's cluster model),
+//   * optionally one shared backbone resource for the switch fabric.
+//
+// A parallel task is described exactly as in the paper's Section IV: a
+// computation vector `a` (flops per participating rank) and a communication
+// matrix `B` (bytes exchanged between each pair of ranks). Submitting it
+// creates one fluid activity whose usage weights are the per-resource byte
+// and flop totals and whose work amount is 1 — so computation and
+// communication progress in lockstep and overlap fully, bounded by the
+// bottleneck resource, with the route latency charged once. These are the
+// L07 semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mtsched/core/matrix.hpp"
+#include "mtsched/platform/cluster.hpp"
+#include "mtsched/simcore/engine.hpp"
+
+namespace mtsched::simcore {
+
+/// A parallel task instance placed on concrete nodes.
+struct Ptask {
+  /// Node id hosting each rank. Communication endpoints refer to ranks.
+  std::vector<int> host_of_rank;
+  /// Flops to execute per rank; empty means no computation. If non-empty,
+  /// size must equal host_of_rank.size().
+  std::vector<double> flops;
+  /// bytes(i, j): bytes rank i sends to rank j; empty means no
+  /// communication. If non-empty, must be square with side
+  /// host_of_rank.size(). Transfers between ranks mapped to the same node
+  /// are local copies and use no network resource.
+  core::Matrix<double> bytes;
+  std::string name;
+};
+
+/// Redistribution ptasks cross two placements: ranks 0..p_src-1 on the
+/// source nodes followed by p_dst ranks on destination nodes, with a
+/// (p_src x p_dst) byte matrix. Helper to build the square Ptask form.
+Ptask make_redistribution_ptask(const std::vector<int>& src_nodes,
+                                const std::vector<int>& dst_nodes,
+                                const core::Matrix<double>& bytes,
+                                std::string name = {});
+
+class ClusterSim {
+ public:
+  /// Registers all resources of `spec` with `engine`. Both references must
+  /// outlive this object.
+  ClusterSim(Engine& engine, const platform::ClusterSpec& spec);
+
+  const platform::ClusterSpec& spec() const { return spec_; }
+  Engine& engine() { return engine_; }
+
+  ResourceId cpu(int node) const;
+  ResourceId uplink(int node) const;
+  ResourceId downlink(int node) const;
+  bool has_backbone() const { return spec_.net.shared_backbone; }
+  ResourceId backbone() const;
+
+  /// Submits a parallel task; `on_complete` fires when all of its
+  /// computation and communication has finished. Returns the activity id.
+  /// Throws core::InvalidArgument on malformed ptasks (bad node ids, size
+  /// mismatches, negative entries).
+  ActivityId submit_ptask(const Ptask& task, CompletionFn on_complete);
+
+  /// The duration the ptask would take if it ran alone on the cluster
+  /// (bottleneck formula + latency). Useful for cost estimation.
+  double solo_duration(const Ptask& task) const;
+
+ private:
+  /// Aggregates a ptask into usage weights and its latency term.
+  std::pair<std::vector<Use>, double> build_uses(const Ptask& task) const;
+
+  Engine& engine_;
+  platform::ClusterSpec spec_;
+  std::vector<ResourceId> cpus_;
+  std::vector<ResourceId> up_;
+  std::vector<ResourceId> down_;
+  ResourceId backbone_ = static_cast<ResourceId>(-1);
+};
+
+}  // namespace mtsched::simcore

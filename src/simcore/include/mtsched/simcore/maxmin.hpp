@@ -1,0 +1,41 @@
+// Max-min fair rate allocation by progressive filling.
+//
+// This is the bandwidth/CPU-sharing model at the heart of flow-level
+// simulators such as SimGrid: every active activity i gets a progress rate
+// rho_i, consuming w_{i,r} * rho_i of each resource r it uses, subject to
+// capacity constraints sum_i w_{i,r} * rho_i <= C_r. The allocation is
+// max-min fair: rates are raised uniformly until some resource saturates,
+// activities bottlenecked there are frozen, and filling continues for the
+// rest. The result is Pareto-optimal and unique.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mtsched::simcore {
+
+/// One activity's usage of one resource (weight must be > 0).
+struct Use {
+  std::size_t resource;
+  double weight;
+};
+
+/// Problem: resource capacities plus per-activity usage lists.
+struct MaxMinProblem {
+  std::vector<double> capacities;
+  std::vector<std::vector<Use>> activities;  ///< usage list per activity
+};
+
+/// Solves for the max-min fair rates. Activities with an empty usage list
+/// receive an infinite rate, reported as
+/// std::numeric_limits<double>::infinity(). Throws core::InvalidArgument on
+/// non-positive capacities or weights, or out-of-range resource indices.
+std::vector<double> solve_max_min(const MaxMinProblem& problem);
+
+/// Verifies a rate vector against the problem: no capacity exceeded (up to
+/// `tol` relative slack) and every activity with usage has a finite positive
+/// rate. Used by tests and available for debugging.
+bool feasible(const MaxMinProblem& problem, const std::vector<double>& rates,
+              double tol = 1e-9);
+
+}  // namespace mtsched::simcore

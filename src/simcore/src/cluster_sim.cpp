@@ -1,0 +1,135 @@
+#include "mtsched/simcore/cluster_sim.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::simcore {
+
+Ptask make_redistribution_ptask(const std::vector<int>& src_nodes,
+                                const std::vector<int>& dst_nodes,
+                                const core::Matrix<double>& bytes,
+                                std::string name) {
+  MTSCHED_REQUIRE(bytes.rows() == src_nodes.size(),
+                  "byte matrix rows must match source node count");
+  MTSCHED_REQUIRE(bytes.cols() == dst_nodes.size(),
+                  "byte matrix cols must match destination node count");
+  Ptask t;
+  t.name = std::move(name);
+  t.host_of_rank = src_nodes;
+  t.host_of_rank.insert(t.host_of_rank.end(), dst_nodes.begin(),
+                        dst_nodes.end());
+  const std::size_t p = t.host_of_rank.size();
+  t.bytes = core::Matrix<double>(p, p);
+  for (std::size_t i = 0; i < src_nodes.size(); ++i) {
+    for (std::size_t j = 0; j < dst_nodes.size(); ++j) {
+      t.bytes(i, src_nodes.size() + j) = bytes(i, j);
+    }
+  }
+  return t;
+}
+
+ClusterSim::ClusterSim(Engine& engine, const platform::ClusterSpec& spec)
+    : engine_(engine), spec_(spec) {
+  spec_.validate();
+  for (int i = 0; i < spec_.num_nodes; ++i) {
+    const std::string tag = std::to_string(i);
+    cpus_.push_back(engine_.add_resource(spec_.flops_of(i), "cpu" + tag));
+    up_.push_back(engine_.add_resource(spec_.net.link_bandwidth, "up" + tag));
+    down_.push_back(
+        engine_.add_resource(spec_.net.link_bandwidth, "down" + tag));
+  }
+  if (spec_.net.shared_backbone) {
+    backbone_ = engine_.add_resource(spec_.net.backbone_bandwidth, "backbone");
+  }
+}
+
+ResourceId ClusterSim::cpu(int node) const {
+  MTSCHED_REQUIRE(node >= 0 && node < spec_.num_nodes, "node out of range");
+  return cpus_[static_cast<std::size_t>(node)];
+}
+
+ResourceId ClusterSim::uplink(int node) const {
+  MTSCHED_REQUIRE(node >= 0 && node < spec_.num_nodes, "node out of range");
+  return up_[static_cast<std::size_t>(node)];
+}
+
+ResourceId ClusterSim::downlink(int node) const {
+  MTSCHED_REQUIRE(node >= 0 && node < spec_.num_nodes, "node out of range");
+  return down_[static_cast<std::size_t>(node)];
+}
+
+ResourceId ClusterSim::backbone() const {
+  MTSCHED_REQUIRE(spec_.net.shared_backbone,
+                  "platform has a non-blocking switch (no backbone resource)");
+  return backbone_;
+}
+
+std::pair<std::vector<Use>, double> ClusterSim::build_uses(
+    const Ptask& task) const {
+  const std::size_t p = task.host_of_rank.size();
+  MTSCHED_REQUIRE(p > 0, "ptask needs at least one rank");
+  for (int h : task.host_of_rank) {
+    MTSCHED_REQUIRE(h >= 0 && h < spec_.num_nodes, "ptask host out of range");
+  }
+  MTSCHED_REQUIRE(task.flops.empty() || task.flops.size() == p,
+                  "flops vector size must match rank count");
+  MTSCHED_REQUIRE(task.bytes.empty() ||
+                      (task.bytes.rows() == p && task.bytes.cols() == p),
+                  "byte matrix must be square over the ranks");
+
+  // Accumulate weights per resource; the L07 activity has amount 1 and
+  // weights equal to the absolute flop/byte totals per resource.
+  std::map<ResourceId, double> weight;
+  if (!task.flops.empty()) {
+    for (std::size_t r = 0; r < p; ++r) {
+      MTSCHED_REQUIRE(task.flops[r] >= 0.0, "flops must be >= 0");
+      if (task.flops[r] > 0.0) {
+        weight[cpu(task.host_of_rank[r])] += task.flops[r];
+      }
+    }
+  }
+  bool any_remote_comm = false;
+  if (!task.bytes.empty()) {
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = 0; j < p; ++j) {
+        const double b = task.bytes(i, j);
+        MTSCHED_REQUIRE(b >= 0.0, "bytes must be >= 0");
+        if (b <= 0.0) continue;
+        const int src = task.host_of_rank[i];
+        const int dst = task.host_of_rank[j];
+        if (src == dst) continue;  // local copy, no network usage
+        any_remote_comm = true;
+        weight[uplink(src)] += b;
+        weight[downlink(dst)] += b;
+        if (spec_.net.shared_backbone) weight[backbone_] += b;
+      }
+    }
+  }
+  std::vector<Use> uses;
+  uses.reserve(weight.size());
+  for (const auto& [res, w] : weight) uses.push_back(Use{res, w});
+  const double latency = any_remote_comm ? spec_.route_latency() : 0.0;
+  return {std::move(uses), latency};
+}
+
+ActivityId ClusterSim::submit_ptask(const Ptask& task,
+                                    CompletionFn on_complete) {
+  auto [uses, latency] = build_uses(task);
+  // Empty usage (zero flops, zero bytes) degenerates to an instant timer.
+  const double amount = uses.empty() ? 0.0 : 1.0;
+  return engine_.submit(std::move(uses), amount, latency,
+                        std::move(on_complete), task.name);
+}
+
+double ClusterSim::solo_duration(const Ptask& task) const {
+  auto [uses, latency] = build_uses(task);
+  double bottleneck = 0.0;
+  for (const auto& u : uses) {
+    bottleneck = std::max(bottleneck, u.weight / engine_.capacity(u.resource));
+  }
+  return bottleneck + latency;
+}
+
+}  // namespace mtsched::simcore

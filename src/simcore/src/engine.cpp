@@ -1,0 +1,174 @@
+#include "mtsched/simcore/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::simcore {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Work/delay below this is treated as complete; guards against float drift.
+constexpr double kEps = 1e-12;
+}  // namespace
+
+ResourceId Engine::add_resource(double capacity, std::string name) {
+  MTSCHED_REQUIRE(capacity > 0.0, "resource capacity must be positive");
+  capacities_.push_back(capacity);
+  usage_.push_back(0.0);
+  resource_names_.push_back(name.empty()
+                                ? "res" + std::to_string(capacities_.size() - 1)
+                                : std::move(name));
+  return capacities_.size() - 1;
+}
+
+double Engine::capacity(ResourceId r) const {
+  MTSCHED_REQUIRE(r < capacities_.size(), "unknown resource");
+  return capacities_[r];
+}
+
+const std::string& Engine::resource_name(ResourceId r) const {
+  MTSCHED_REQUIRE(r < resource_names_.size(), "unknown resource");
+  return resource_names_[r];
+}
+
+ActivityId Engine::submit(std::vector<Use> uses, double amount, double delay,
+                          CompletionFn on_complete, std::string name) {
+  MTSCHED_REQUIRE(amount >= 0.0, "work amount must be >= 0");
+  MTSCHED_REQUIRE(delay >= 0.0, "delay must be >= 0");
+  for (const auto& u : uses) {
+    MTSCHED_REQUIRE(u.resource < capacities_.size(), "unknown resource");
+    MTSCHED_REQUIRE(u.weight > 0.0, "usage weight must be positive");
+  }
+  Activity a;
+  a.id = next_id_++;
+  a.name = std::move(name);
+  a.uses = std::move(uses);
+  a.remaining_amount = amount;
+  a.remaining_delay = delay;
+  a.in_delay = delay > 0.0;
+  a.on_complete = std::move(on_complete);
+  const ActivityId id = a.id;
+  active_.emplace(id, std::move(a));
+  rates_dirty_ = true;
+  return id;
+}
+
+ActivityId Engine::submit_timer(double duration, CompletionFn on_complete,
+                                std::string name) {
+  return submit({}, 0.0, duration, std::move(on_complete), std::move(name));
+}
+
+void Engine::recompute_rates() {
+  MaxMinProblem prob;
+  prob.capacities = capacities_;
+  std::vector<Activity*> working;
+  for (auto& [id, a] : active_) {
+    if (!a.in_delay) {
+      working.push_back(&a);
+      prob.activities.push_back(a.uses);
+    } else {
+      a.rate = 0.0;
+    }
+  }
+  if (!working.empty()) {
+    const auto rates = solve_max_min(prob);
+    for (std::size_t i = 0; i < working.size(); ++i) working[i]->rate = rates[i];
+  }
+  rates_dirty_ = false;
+}
+
+double Engine::next_event_dt() const {
+  double dt = kInf;
+  for (const auto& [id, a] : active_) {
+    if (a.in_delay) {
+      dt = std::min(dt, a.remaining_delay);
+    } else if (a.remaining_amount <= kEps || a.uses.empty() ||
+               std::isinf(a.rate)) {
+      dt = 0.0;  // completes immediately
+    } else {
+      MTSCHED_INVARIANT(a.rate > 0.0, "working activity has zero rate");
+      dt = std::min(dt, a.remaining_amount / a.rate);
+    }
+  }
+  return dt;
+}
+
+bool Engine::step() {
+  if (active_.empty()) return false;
+  if (rates_dirty_) recompute_rates();
+  const double dt = next_event_dt();
+  MTSCHED_INVARIANT(std::isfinite(dt), "no upcoming event among activities");
+
+  now_ += dt;
+  // Advance all clocks and account resource consumption.
+  for (auto& [id, a] : active_) {
+    if (a.in_delay) {
+      a.remaining_delay -= dt;
+    } else if (!a.uses.empty() && !std::isinf(a.rate)) {
+      a.remaining_amount -= a.rate * dt;
+      for (const auto& u : a.uses) {
+        usage_[u.resource] += u.weight * a.rate * dt;
+      }
+    }
+  }
+  // Collect this instant's transitions and completions, in id order
+  // (std::map iteration) for determinism.
+  std::vector<ActivityId> completed;
+  for (auto& [id, a] : active_) {
+    if (a.in_delay && a.remaining_delay <= kEps) {
+      a.in_delay = false;
+      a.remaining_delay = 0.0;
+      rates_dirty_ = true;
+    }
+    if (!a.in_delay &&
+        (a.remaining_amount <= kEps || a.uses.empty() || std::isinf(a.rate))) {
+      completed.push_back(id);
+    }
+  }
+  // Detach completions before invoking callbacks so callbacks can submit.
+  std::vector<CompletionFn> callbacks;
+  callbacks.reserve(completed.size());
+  for (ActivityId id : completed) {
+    auto it = active_.find(id);
+    callbacks.push_back(std::move(it->second.on_complete));
+    active_.erase(it);
+    rates_dirty_ = true;
+    ++events_;
+  }
+  for (auto& cb : callbacks) {
+    if (cb) cb(now_);
+  }
+  return true;
+}
+
+void Engine::run(std::uint64_t max_events) {
+  while (step()) {
+    MTSCHED_INVARIANT(events_ <= max_events,
+                      "simulation exceeded the event budget (runaway?)");
+  }
+}
+
+double Engine::resource_usage(ResourceId r) const {
+  MTSCHED_REQUIRE(r < usage_.size(), "unknown resource");
+  return usage_[r];
+}
+
+double Engine::utilization(ResourceId r) const {
+  MTSCHED_REQUIRE(r < usage_.size(), "unknown resource");
+  if (now_ <= 0.0) return 0.0;
+  return usage_[r] / (capacities_[r] * now_);
+}
+
+double Engine::current_rate(ActivityId id) const {
+  auto it = active_.find(id);
+  MTSCHED_REQUIRE(it != active_.end(), "activity is not active");
+  MTSCHED_REQUIRE(!rates_dirty_, "rates not computed yet; call step() first");
+  return it->second.in_delay ? 0.0
+                             : (it->second.uses.empty() ? kInf
+                                                        : it->second.rate);
+}
+
+}  // namespace mtsched::simcore

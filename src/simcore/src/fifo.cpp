@@ -1,0 +1,39 @@
+#include "mtsched/simcore/fifo.hpp"
+
+#include <memory>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::simcore {
+
+FifoServer::FifoServer(Engine& engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {}
+
+void FifoServer::enqueue(double service_time, CompletionFn done) {
+  MTSCHED_REQUIRE(service_time >= 0.0, "service time must be >= 0");
+  queue_.push_back(Job{service_time, engine_.now(), std::move(done)});
+  if (!busy_) start_next(engine_.now());
+}
+
+void FifoServer::start_next(double now) {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  total_wait_ += now - job.arrival;
+  // Capture by value; `this` outlives the engine run in all our uses.
+  auto done = std::make_shared<CompletionFn>(std::move(job.done));
+  engine_.submit_timer(
+      job.service_time,
+      [this, done](double t) {
+        ++served_;
+        if (*done) (*done)(t);
+        start_next(t);
+      },
+      name_ + "_job");
+}
+
+}  // namespace mtsched::simcore

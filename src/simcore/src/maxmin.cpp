@@ -1,0 +1,103 @@
+#include "mtsched/simcore/maxmin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::simcore {
+
+std::vector<double> solve_max_min(const MaxMinProblem& problem) {
+  const std::size_t num_res = problem.capacities.size();
+  const std::size_t num_act = problem.activities.size();
+  for (double c : problem.capacities)
+    MTSCHED_REQUIRE(c > 0.0, "resource capacities must be positive");
+  for (const auto& uses : problem.activities) {
+    for (const auto& u : uses) {
+      MTSCHED_REQUIRE(u.resource < num_res, "resource index out of range");
+      MTSCHED_REQUIRE(u.weight > 0.0, "usage weights must be positive");
+    }
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> rates(num_act, kInf);
+  std::vector<bool> frozen(num_act, false);
+  // Activities with no usage are unconstrained (infinite rate).
+  std::size_t remaining = 0;
+  for (std::size_t i = 0; i < num_act; ++i) {
+    if (problem.activities[i].empty()) {
+      frozen[i] = true;
+    } else {
+      ++remaining;
+    }
+  }
+
+  std::vector<double> free_cap = problem.capacities;  // capacity minus frozen
+  std::vector<double> load(num_res, 0.0);             // unfrozen weight sums
+
+  while (remaining > 0) {
+    std::fill(load.begin(), load.end(), 0.0);
+    for (std::size_t i = 0; i < num_act; ++i) {
+      if (frozen[i]) continue;
+      for (const auto& u : problem.activities[i]) load[u.resource] += u.weight;
+    }
+    // The binding resource gives the smallest uniform rate.
+    double rho = kInf;
+    for (std::size_t r = 0; r < num_res; ++r) {
+      if (load[r] > 0.0) rho = std::min(rho, std::max(0.0, free_cap[r]) / load[r]);
+    }
+    MTSCHED_INVARIANT(rho < kInf, "unfrozen activity uses no loaded resource");
+
+    // Identify the binding resources from the pre-freeze snapshot, then
+    // freeze every unfrozen activity touching one of them.
+    std::vector<bool> binding(num_res, false);
+    for (std::size_t r = 0; r < num_res; ++r) {
+      if (load[r] > 0.0 &&
+          std::max(0.0, free_cap[r]) / load[r] <= rho * (1.0 + 1e-12)) {
+        binding[r] = true;
+      }
+    }
+    bool froze_any = false;
+    for (std::size_t i = 0; i < num_act; ++i) {
+      if (frozen[i]) continue;
+      bool hit = false;
+      for (const auto& u : problem.activities[i]) {
+        if (binding[u.resource]) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        frozen[i] = true;
+        rates[i] = rho;
+        --remaining;
+        froze_any = true;
+        for (const auto& u : problem.activities[i]) {
+          free_cap[u.resource] -= u.weight * rho;
+        }
+      }
+    }
+    MTSCHED_INVARIANT(froze_any, "progressive filling made no progress");
+  }
+  return rates;
+}
+
+bool feasible(const MaxMinProblem& problem, const std::vector<double>& rates,
+              double tol) {
+  if (rates.size() != problem.activities.size()) return false;
+  std::vector<double> usage(problem.capacities.size(), 0.0);
+  for (std::size_t i = 0; i < problem.activities.size(); ++i) {
+    const auto& uses = problem.activities[i];
+    if (!uses.empty()) {
+      if (!(rates[i] > 0.0) || std::isinf(rates[i])) return false;
+      for (const auto& u : uses) usage[u.resource] += u.weight * rates[i];
+    }
+  }
+  for (std::size_t r = 0; r < usage.size(); ++r) {
+    if (usage[r] > problem.capacities[r] * (1.0 + tol)) return false;
+  }
+  return true;
+}
+
+}  // namespace mtsched::simcore

@@ -1,0 +1,40 @@
+// ASCII renderings of the paper's figure types: paired bar charts
+// (Figures 1/5/7), line series (Figures 2/3/6), surfaces (Figure 4) and
+// box-and-whisker plots (Figure 8). Bench binaries print these alongside
+// machine-readable CSV rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mtsched/stats/summary.hpp"
+
+namespace mtsched::stats {
+
+/// One labelled pair of values (e.g. simulated vs experimental relative
+/// makespan for one DAG).
+struct PairedBar {
+  std::string label;
+  double first = 0.0;   ///< e.g. simulation
+  double second = 0.0;  ///< e.g. experiment
+};
+
+/// Renders paired horizontal bars around a zero axis; `full_scale` maps to
+/// the full bar width. Mirrors the style of the paper's Figures 1, 5, 7.
+std::string render_paired_bars(const std::vector<PairedBar>& bars,
+                               double full_scale,
+                               const std::string& first_name = "sim",
+                               const std::string& second_name = "exp",
+                               int width = 24);
+
+/// Renders an x/y series as rows "x  y  <bar>"; for Figures 2, 3, 6.
+std::string render_series(const std::vector<double>& x,
+                          const std::vector<double>& y,
+                          const std::string& x_name,
+                          const std::string& y_name, int width = 40);
+
+/// Renders one box-and-whisker as a single text row on [lo, hi].
+std::string render_box_row(const std::string& label, const BoxStats& b,
+                           double lo, double hi, int width = 60);
+
+}  // namespace mtsched::stats

@@ -1,0 +1,46 @@
+// Descriptive statistics: five-number summaries and box-and-whisker data
+// (used to reproduce the paper's Figure 8 error boxplots).
+#pragma once
+
+#include <vector>
+
+namespace mtsched::stats {
+
+/// Basic moments and extrema of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes Summary over `xs`. Requires a non-empty sample.
+Summary summarize(const std::vector<double>& xs);
+
+/// Linear-interpolated quantile (type-7, the R/NumPy default).
+/// `q` in [0, 1]; requires a non-empty sample.
+double quantile(std::vector<double> xs, double q);
+
+/// Median shortcut.
+double median(const std::vector<double>& xs);
+
+/// Box-and-whisker statistics in Tukey's convention: whiskers extend to the
+/// most extreme data point within 1.5 IQR of the box; points beyond are
+/// reported as outliers.
+struct BoxStats {
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double whisker_lo = 0.0;
+  double whisker_hi = 0.0;
+  std::vector<double> outliers;
+};
+
+/// Computes BoxStats over `xs`. Requires a non-empty sample.
+BoxStats box_stats(const std::vector<double>& xs);
+
+/// Mean of a sample (requires non-empty).
+double mean(const std::vector<double>& xs);
+
+}  // namespace mtsched::stats

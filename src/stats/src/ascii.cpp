@@ -1,0 +1,79 @@
+#include "mtsched/stats/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/core/table.hpp"
+
+namespace mtsched::stats {
+
+std::string render_paired_bars(const std::vector<PairedBar>& bars,
+                               double full_scale,
+                               const std::string& first_name,
+                               const std::string& second_name, int width) {
+  MTSCHED_REQUIRE(full_scale > 0.0, "full_scale must be positive");
+  std::ostringstream os;
+  std::size_t label_w = 5;
+  for (const auto& b : bars) label_w = std::max(label_w, b.label.size());
+  os << std::left << std::setw(static_cast<int>(label_w) + 2) << "label"
+     << "  value   -" << core::fmt(full_scale, 2) << " ... +"
+     << core::fmt(full_scale, 2) << '\n';
+  for (const auto& b : bars) {
+    os << std::left << std::setw(static_cast<int>(label_w) + 2) << b.label
+       << ' ' << std::right << std::setw(7) << core::fmt(b.first, 3) << ' '
+       << core::hbar(b.first, full_scale, width) << "  " << first_name << '\n';
+    os << std::left << std::setw(static_cast<int>(label_w) + 2) << " "
+       << ' ' << std::right << std::setw(7) << core::fmt(b.second, 3) << ' '
+       << core::hbar(b.second, full_scale, width) << "  " << second_name
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string render_series(const std::vector<double>& x,
+                          const std::vector<double>& y,
+                          const std::string& x_name, const std::string& y_name,
+                          int width) {
+  MTSCHED_REQUIRE(x.size() == y.size(), "x/y size mismatch");
+  MTSCHED_REQUIRE(!x.empty(), "series must be non-empty");
+  const double y_max = *std::max_element(y.begin(), y.end());
+  const double scale = y_max > 0.0 ? y_max : 1.0;
+  std::ostringstream os;
+  os << std::setw(8) << x_name << std::setw(12) << y_name << "  0 .. "
+     << core::fmt(scale, 3) << '\n';
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const int n = static_cast<int>(
+        std::lround(std::clamp(y[i] / scale, 0.0, 1.0) * width));
+    os << std::setw(8) << core::fmt(x[i], 0) << std::setw(12)
+       << core::fmt(y[i], 4) << "  "
+       << std::string(static_cast<std::size_t>(n), '#') << '\n';
+  }
+  return os.str();
+}
+
+std::string render_box_row(const std::string& label, const BoxStats& b,
+                           double lo, double hi, int width) {
+  MTSCHED_REQUIRE(hi > lo, "box row range must be non-degenerate");
+  auto col = [&](double v) {
+    const double t = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+    return static_cast<std::size_t>(std::lround(t * (width - 1)));
+  };
+  std::string row(static_cast<std::size_t>(width), ' ');
+  for (std::size_t c = col(b.whisker_lo); c <= col(b.whisker_hi); ++c)
+    row[c] = '-';
+  for (std::size_t c = col(b.q1); c <= col(b.q3); ++c) row[c] = '=';
+  row[col(b.median)] = 'M';
+  for (double o : b.outliers) {
+    if (o >= lo && o <= hi) row[col(o)] = 'o';
+  }
+  std::ostringstream os;
+  os << std::left << std::setw(26) << label << '[' << row << "]  med="
+     << core::fmt(b.median, 1) << " q1=" << core::fmt(b.q1, 1)
+     << " q3=" << core::fmt(b.q3, 1) << " out=" << b.outliers.size();
+  return os.str();
+}
+
+}  // namespace mtsched::stats

@@ -1,0 +1,80 @@
+#include "mtsched/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::stats {
+
+Summary summarize(const std::vector<double>& xs) {
+  MTSCHED_REQUIRE(!xs.empty(), "summarize requires a non-empty sample");
+  Summary s;
+  s.count = xs.size();
+  double sum = 0.0;
+  s.min = xs.front();
+  s.max = xs.front();
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double ss = 0.0;
+    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  return s;
+}
+
+double quantile(std::vector<double> xs, double q) {
+  MTSCHED_REQUIRE(!xs.empty(), "quantile requires a non-empty sample");
+  MTSCHED_REQUIRE(q >= 0.0 && q <= 1.0, "quantile order must be in [0, 1]");
+  std::sort(xs.begin(), xs.end());
+  const double h = (static_cast<double>(xs.size()) - 1.0) * q;
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  const double frac = h - std::floor(h);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double median(const std::vector<double>& xs) { return quantile(xs, 0.5); }
+
+double mean(const std::vector<double>& xs) {
+  MTSCHED_REQUIRE(!xs.empty(), "mean requires a non-empty sample");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+BoxStats box_stats(const std::vector<double>& xs) {
+  MTSCHED_REQUIRE(!xs.empty(), "box_stats requires a non-empty sample");
+  BoxStats b;
+  b.q1 = quantile(xs, 0.25);
+  b.median = quantile(xs, 0.5);
+  b.q3 = quantile(xs, 0.75);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  b.whisker_lo = b.q3;  // initialized high / low, tightened below
+  b.whisker_hi = b.q1;
+  bool any_in_fence = false;
+  for (double x : xs) {
+    if (x >= lo_fence && x <= hi_fence) {
+      b.whisker_lo = any_in_fence ? std::min(b.whisker_lo, x) : x;
+      b.whisker_hi = any_in_fence ? std::max(b.whisker_hi, x) : x;
+      any_in_fence = true;
+    } else {
+      b.outliers.push_back(x);
+    }
+  }
+  if (!any_in_fence) {  // degenerate: everything is an outlier (iqr == 0)
+    b.whisker_lo = b.q1;
+    b.whisker_hi = b.q3;
+  }
+  std::sort(b.outliers.begin(), b.outliers.end());
+  return b;
+}
+
+}  // namespace mtsched::stats

@@ -1,0 +1,131 @@
+// Tests for the structured application DAG builders (Strassen, block LU).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/dag/apps.hpp"
+
+namespace {
+
+using namespace mtsched::dag;
+using mtsched::core::InvalidArgument;
+
+TEST(Strassen, TaskCountFormula) {
+  EXPECT_EQ(strassen_task_count(1), 26u);          // 10 + 7 + 8 + 1
+  EXPECT_EQ(strassen_task_count(2), 10u + 7 * 26 + 8 + 1);
+}
+
+TEST(Strassen, OneLevelStructure) {
+  const auto g = strassen_dag(2000, 1);
+  EXPECT_EQ(g.num_tasks(), 26u);
+  // 7 multiplications at dimension 1000, the rest additions.
+  int muls = 0, adds_half = 0, adds_full = 0;
+  for (const auto& t : g.tasks()) {
+    if (t.kernel == TaskKernel::MatMul) {
+      ++muls;
+      EXPECT_EQ(t.matrix_dim, 1000);
+    } else if (t.matrix_dim == 1000) {
+      ++adds_half;
+    } else {
+      EXPECT_EQ(t.matrix_dim, 2000);
+      ++adds_full;
+    }
+  }
+  EXPECT_EQ(muls, 7);
+  EXPECT_EQ(adds_half, 18);  // 10 pre + 8 combine
+  EXPECT_EQ(adds_full, 1);   // assembly
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Strassen, EntryTasksAreThePreAdditionsAndLeafMuls) {
+  const auto g = strassen_dag(2000, 1);
+  // At the top level the 10 S-additions consume external inputs, and the
+  // products with raw-quadrant operands (M2..M5) have no in-DAG second
+  // operand; but every M depends on at least one S task, so entries are
+  // exactly the 10 S tasks.
+  EXPECT_EQ(g.entry_tasks().size(), 10u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+}
+
+TEST(Strassen, TwoLevelsRecursesSevenfold) {
+  const auto g = strassen_dag(2000, 2);
+  EXPECT_EQ(g.num_tasks(), strassen_task_count(2));
+  int leaf_muls = 0;
+  for (const auto& t : g.tasks()) {
+    if (t.kernel == TaskKernel::MatMul) {
+      EXPECT_EQ(t.matrix_dim, 500);
+      ++leaf_muls;
+    }
+  }
+  EXPECT_EQ(leaf_muls, 49);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Strassen, Validation) {
+  EXPECT_THROW(strassen_dag(2000, 0), InvalidArgument);
+  EXPECT_THROW(strassen_dag(1000, 4), InvalidArgument);  // 1000 % 16 != 0
+  EXPECT_THROW(strassen_dag(1, 1), InvalidArgument);
+}
+
+TEST(BlockLu, TaskCountFormula) {
+  EXPECT_EQ(block_lu_task_count(1), 1u);
+  EXPECT_EQ(block_lu_task_count(2), 1u + 2 + 1 + 1);  // f,2s,1u + f
+  EXPECT_EQ(block_lu_task_count(4), 30u);
+}
+
+TEST(BlockLu, StructureOfTwoByTwo) {
+  const auto g = block_lu_dag(2, 1000);
+  EXPECT_EQ(g.num_tasks(), 5u);
+  // getrf0 -> trsmr, trsmc -> gemm -> getrf1; single entry, single exit.
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+  EXPECT_EQ(g.num_levels(), 4);
+}
+
+TEST(BlockLu, DependenciesFollowTheOwnerMatrix) {
+  const auto g = block_lu_dag(3, 500);
+  // The second-step factor task must depend on the first gemm that wrote
+  // tile (1,1).
+  TaskId second_factor = kInvalidTask;
+  for (const auto& t : g.tasks()) {
+    if (t.name == "getrf_1") second_factor = t.id;
+  }
+  ASSERT_NE(second_factor, kInvalidTask);
+  EXPECT_FALSE(g.predecessors(second_factor).empty());
+  const auto& pred = g.task(g.predecessors(second_factor)[0]);
+  EXPECT_EQ(pred.name.rfind("gemm_1_1", 0), 0u);
+}
+
+TEST(BlockLu, CriticalPathDepthGrowsLinearly) {
+  // Right-looking LU has a critical path of ~3 levels per step.
+  EXPECT_GT(block_lu_dag(6, 200).num_levels(),
+            block_lu_dag(3, 200).num_levels());
+}
+
+TEST(BlockLu, AllKernelsAreCubic) {
+  const auto g = block_lu_dag(4, 700);
+  for (const auto& t : g.tasks()) {
+    EXPECT_EQ(t.kernel, TaskKernel::MatMul);
+    EXPECT_EQ(t.matrix_dim, 700);
+  }
+}
+
+TEST(BlockLu, Validation) {
+  EXPECT_THROW(block_lu_dag(0, 100), InvalidArgument);
+  EXPECT_THROW(block_lu_dag(2, 0), InvalidArgument);
+}
+
+/// Sweep: builders stay structurally sound over a size range.
+class AppDags : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppDags, LuAlwaysValid) {
+  const int b = GetParam();
+  const auto g = block_lu_dag(b, 256);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.num_tasks(), block_lu_task_count(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, AppDags, ::testing::Range(1, 9));
+
+}  // namespace

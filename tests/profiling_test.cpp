@@ -1,0 +1,237 @@
+// Tests for the profiling campaign and the regression builder, including
+// the paper's Figure 6 outlier story (naive powers-of-two sampling fits
+// worse than the outlier-avoiding plan).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/machine/java_cluster.hpp"
+#include "mtsched/profiling/profiler.hpp"
+#include "mtsched/profiling/regression_builder.hpp"
+#include "mtsched/tgrid/emulator.hpp"
+
+namespace {
+
+using namespace mtsched;
+using dag::TaskKernel;
+
+struct Rig {
+  machine::JavaClusterModel machine;
+  tgrid::TGridEmulator emulator;
+  profiling::Profiler profiler;
+
+  Rig() : machine(), emulator(machine, machine.platform_spec()),
+          profiler(emulator) {}
+};
+
+profiling::ProfileConfig fast_config() {
+  profiling::ProfileConfig cfg;
+  cfg.exec_trials = 3;
+  cfg.startup_trials = 5;
+  cfg.redist_trials = 2;
+  return cfg;
+}
+
+TEST(Profiler, ExecProfileTracksMachineMeans) {
+  Rig rig;
+  const std::vector<int> ps{1, 4, 8, 16, 32};
+  const auto prof =
+      rig.profiler.exec_profile(TaskKernel::MatMul, 2000, ps, 20, 1);
+  ASSERT_EQ(prof.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double mean =
+        rig.machine.exec_time_mean(TaskKernel::MatMul, 2000, ps[i]);
+    EXPECT_NEAR(prof[i], mean, mean * 0.05) << "p=" << ps[i];
+  }
+}
+
+TEST(Profiler, StartupProfileTracksMachine) {
+  Rig rig;
+  const auto prof = rig.profiler.startup_profile({1, 16, 32}, 20, 1);
+  EXPECT_NEAR(prof[0], rig.machine.startup_mean(1),
+              rig.machine.startup_mean(1) * 0.05);
+  EXPECT_NEAR(prof[2], rig.machine.startup_mean(32),
+              rig.machine.startup_mean(32) * 0.05);
+}
+
+TEST(Profiler, RedistSurfaceShapeAndCollapse) {
+  Rig rig;
+  const auto surface = rig.profiler.redist_surface(2, 1);
+  EXPECT_EQ(surface.rows(), 32u);
+  EXPECT_EQ(surface.cols(), 32u);
+  const auto by_dst = profiling::Profiler::average_over_src(surface);
+  ASSERT_EQ(by_dst.size(), 32u);
+  // Overhead grows with destination count (Figure 4's dominant axis).
+  EXPECT_GT(by_dst[31], by_dst[0]);
+  // Hand-check the collapse of column 5.
+  double sum = 0.0;
+  for (std::size_t s = 0; s < 32; ++s) sum += surface(s, 5);
+  EXPECT_NEAR(by_dst[5], sum / 32.0, 1e-12);
+}
+
+TEST(Profiler, BruteForceTablesAreComplete) {
+  Rig rig;
+  const auto tables = rig.profiler.brute_force(fast_config());
+  EXPECT_EQ(tables.exec.size(), 4u);  // 2 kernels x 2 dims
+  for (const auto& [key, times] : tables.exec) {
+    EXPECT_EQ(times.size(), 32u);
+    for (double t : times) EXPECT_GT(t, 0.0);
+  }
+  EXPECT_EQ(tables.startup.size(), 32u);
+  EXPECT_EQ(tables.redist_by_dst.size(), 32u);
+}
+
+TEST(Profiler, DeterministicGivenSeed) {
+  Rig rig;
+  const auto a = rig.profiler.exec_profile(TaskKernel::MatAdd, 3000,
+                                           {2, 4, 8}, 3, 77);
+  const auto b = rig.profiler.exec_profile(TaskKernel::MatAdd, 3000,
+                                           {2, 4, 8}, 3, 77);
+  EXPECT_EQ(a, b);
+  const auto c = rig.profiler.exec_profile(TaskKernel::MatAdd, 3000,
+                                           {2, 4, 8}, 3, 78);
+  EXPECT_NE(a, c);
+}
+
+TEST(Profiler, Validation) {
+  Rig rig;
+  EXPECT_THROW(rig.profiler.exec_profile(TaskKernel::MatMul, 2000, {}, 3, 1),
+               core::InvalidArgument);
+  EXPECT_THROW(rig.profiler.exec_profile(TaskKernel::MatMul, 2000, {1}, 0, 1),
+               core::InvalidArgument);
+  EXPECT_THROW(rig.profiler.startup_profile({1}, 0, 1),
+               core::InvalidArgument);
+  EXPECT_THROW(rig.profiler.redist_surface(0, 1), core::InvalidArgument);
+  profiling::ProfileConfig empty;
+  empty.matrix_dims.clear();
+  EXPECT_THROW(rig.profiler.brute_force(empty), core::InvalidArgument);
+}
+
+TEST(SamplePlans, MatchThePaper) {
+  const auto robust = profiling::SamplePlan::robust();
+  EXPECT_EQ(robust.mm_small_p, (std::vector<int>{2, 4, 7, 15}));
+  EXPECT_EQ(robust.mm_large_p, (std::vector<int>{15, 24, 31}));
+  EXPECT_EQ(robust.add_p, (std::vector<int>{2, 4, 7, 15, 24, 31}));
+  EXPECT_EQ(robust.overhead_p, (std::vector<int>{1, 16, 32}));
+  const auto naive = profiling::SamplePlan::naive();
+  // The naive plan hits the outliers at 8 and 16.
+  EXPECT_NE(std::find(naive.mm_small_p.begin(), naive.mm_small_p.end(), 8),
+            naive.mm_small_p.end());
+  EXPECT_NE(std::find(naive.mm_small_p.begin(), naive.mm_small_p.end(), 16),
+            naive.mm_small_p.end());
+}
+
+TEST(RegressionBuilder, ProducesFitsForAllKernelsAndDims) {
+  Rig rig;
+  const profiling::RegressionBuilder builder(rig.profiler);
+  const auto build = builder.build(fast_config(),
+                                   profiling::SamplePlan::robust());
+  EXPECT_EQ(build.fits.exec.size(), 4u);
+  EXPECT_TRUE(build.fits.exec.at({TaskKernel::MatMul, 2000}).has_large);
+  EXPECT_FALSE(build.fits.exec.at({TaskKernel::MatAdd, 2000}).has_large);
+  // Startup fit in the Table II ballpark (a ~ 0.03-0.06, b ~ 0.5-0.9).
+  EXPECT_GT(build.fits.startup.a, 0.0);
+  EXPECT_GT(build.fits.startup.b, 0.3);
+  // Redistribution fit: positive slope in p_dst.
+  EXPECT_GT(build.fits.redist.a, 0.0);
+}
+
+TEST(RegressionBuilder, RobustPlanBeatsNaiveOnOutlierCurve) {
+  // Figure 6: for n = 3000 the outliers at p = 8 and 16 ruin the naive
+  // fit; evaluate both fits against the true mean curve away from the
+  // outliers themselves.
+  Rig rig;
+  const profiling::RegressionBuilder builder(rig.profiler);
+  const auto cfg = fast_config();
+  const auto robust = builder.build(cfg, profiling::SamplePlan::robust());
+  const auto naive = builder.build(cfg, profiling::SamplePlan::naive());
+  auto rmse = [&](const stats::PiecewiseFit& fit) {
+    double ss = 0.0;
+    int count = 0;
+    for (int p = 2; p <= 32; ++p) {
+      if (p == 8 || p == 16) continue;  // judge on the regular points
+      const double truth =
+          rig.machine.exec_time_mean(TaskKernel::MatMul, 3000, p);
+      const double pred = fit.eval(p);
+      ss += (pred - truth) * (pred - truth);
+      ++count;
+    }
+    return std::sqrt(ss / count);
+  };
+  const double r = rmse(robust.fits.exec.at({TaskKernel::MatMul, 3000}));
+  const double n = rmse(naive.fits.exec.at({TaskKernel::MatMul, 3000}));
+  EXPECT_LT(r, n);
+}
+
+TEST(RegressionBuilder, FitDataRecordedForPlotting) {
+  Rig rig;
+  const profiling::RegressionBuilder builder(rig.profiler);
+  const auto build = builder.build(fast_config(),
+                                   profiling::SamplePlan::robust());
+  const auto& data = build.exec_data.at({TaskKernel::MatMul, 2000});
+  EXPECT_EQ(data.p.size(), 7u);  // 4 small + 3 large
+  EXPECT_EQ(data.seconds.size(), 7u);
+  EXPECT_EQ(build.startup_data.p.size(), 3u);
+  EXPECT_EQ(build.redist_data.p.size(), 3u);
+}
+
+TEST(RegressionBuilder, RejectsDegeneratePlans) {
+  Rig rig;
+  const profiling::RegressionBuilder builder(rig.profiler);
+  auto plan = profiling::SamplePlan::robust();
+  plan.mm_small_p = {4};
+  EXPECT_THROW(builder.build(fast_config(), plan), core::InvalidArgument);
+}
+
+TEST(SamplePlans, ScaledPlansFitSmallerClusters) {
+  const auto plan16 = profiling::SamplePlan::scaled(16);
+  for (int p : plan16.mm_small_p) EXPECT_LE(p, 16);
+  for (int p : plan16.mm_large_p) EXPECT_LE(p, 16);
+  EXPECT_EQ(plan16.split, 8);
+  EXPECT_EQ(plan16.overhead_p.back(), 16);
+  // 32 nodes reproduces the paper plan exactly.
+  const auto plan32 = profiling::SamplePlan::scaled(32);
+  EXPECT_EQ(plan32.mm_small_p, profiling::SamplePlan::robust().mm_small_p);
+  EXPECT_THROW(profiling::SamplePlan::scaled(3), core::InvalidArgument);
+}
+
+TEST(RegressionBuilder, TheilSenIsNoWorseOnDenseSamples) {
+  // The paper's future-work challenge: calibrate from sparse profiles
+  // without hand-picking outlier-free points. On synthetic data with
+  // isolated outliers Theil-Sen wins outright (see the stats tests); on
+  // this machine's measured curves the lumpy efficiency ripple dominates
+  // the isolated p = 8/16 outliers once sampling is dense, so the honest
+  // expectation is non-inferiority: robust fitting must not cost accuracy
+  // (and it removes the need to hand-pick points).
+  Rig rig;
+  const profiling::RegressionBuilder builder(rig.profiler);
+  const auto cfg = fast_config();
+  profiling::SamplePlan dense;
+  dense.mm_small_p = {2, 3, 4, 5, 6, 8, 10, 12, 14, 16};
+  dense.mm_large_p = {16, 20, 24, 28, 32};
+  dense.add_p = {2, 4, 8, 16, 32};
+  dense.overhead_p = {1, 16, 32};
+  auto dense_ts = dense;
+  dense_ts.method = profiling::FitMethod::TheilSen;
+  const auto ls = builder.build(cfg, dense);
+  const auto ts = builder.build(cfg, dense_ts);
+  auto rmse = [&](const stats::PiecewiseFit& fit) {
+    double ss = 0.0;
+    int count = 0;
+    for (int p = 2; p <= 32; ++p) {
+      if (p == 8 || p == 16) continue;
+      const double truth =
+          rig.machine.exec_time_mean(TaskKernel::MatMul, 3000, p);
+      const double pred = fit.eval(p);
+      ss += (pred - truth) * (pred - truth);
+      ++count;
+    }
+    return std::sqrt(ss / count);
+  };
+  const double r_ts = rmse(ts.fits.exec.at({TaskKernel::MatMul, 3000}));
+  const double r_ls = rmse(ls.fits.exec.at({TaskKernel::MatMul, 3000}));
+  EXPECT_LT(r_ts, r_ls * 1.25);
+}
+
+}  // namespace

@@ -1,0 +1,249 @@
+// Tests for the CPA-family allocation phase.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/dag/generator.hpp"
+#include "mtsched/sched/allocation.hpp"
+
+namespace {
+
+using namespace mtsched::sched;
+using namespace mtsched::dag;
+using mtsched::core::InvalidArgument;
+
+/// Ideal-speedup cost: tau(t, p) = W(t)/p (+ optional fixed startup).
+class IdealCost final : public SchedCost {
+ public:
+  explicit IdealCost(double startup = 0.0) : startup_(startup) {}
+  double exec_time(const Task& t, int p) const override {
+    return kernel_flops(t.kernel, t.matrix_dim) / 1e9 / p;
+  }
+  double startup_time(int) const override { return startup_; }
+  double redist_time(const Task&, int, int) const override { return 0.0; }
+
+ private:
+  double startup_;
+};
+
+Dag chain(int len, TaskKernel k = TaskKernel::MatMul, int n = 2000) {
+  Dag g;
+  TaskId prev = kInvalidTask;
+  for (int i = 0; i < len; ++i) {
+    const auto id = g.add_task(k, n);
+    if (prev != kInvalidTask) g.add_edge(prev, id);
+    prev = id;
+  }
+  return g;
+}
+
+Dag fork_join(int width, int n = 2000) {
+  Dag g;
+  const auto src = g.add_task(TaskKernel::MatMul, n);
+  const auto sink = g.add_task(TaskKernel::MatMul, n);
+  for (int i = 0; i < width; ++i) {
+    const auto mid = g.add_task(TaskKernel::MatMul, n);
+    g.add_edge(src, mid);
+    g.add_edge(mid, sink);
+  }
+  return g;
+}
+
+TEST(Cpa, ChainGrowsAllocationsOnIdealCurves) {
+  // A pure chain is all critical path; with ideal speedup and no area
+  // penalty (area constant in p), CPA grows until T_CP <= T_A.
+  const auto g = chain(4);
+  const IdealCost cost;
+  const auto alloc = CpaAllocator{}.allocate(g, cost, 32);
+  for (int a : alloc) EXPECT_GT(a, 1);
+}
+
+TEST(Cpa, AllocationsWithinBounds) {
+  const auto g = fork_join(4);
+  const IdealCost cost;
+  for (int P : {1, 2, 8, 32}) {
+    const auto alloc = CpaAllocator{}.allocate(g, cost, P);
+    for (int a : alloc) {
+      EXPECT_GE(a, 1);
+      EXPECT_LE(a, P);
+    }
+  }
+}
+
+TEST(Cpa, SingleProcessorClusterKeepsOnes) {
+  const auto g = chain(3);
+  const IdealCost cost;
+  const auto alloc = CpaAllocator{}.allocate(g, cost, 1);
+  for (int a : alloc) EXPECT_EQ(a, 1);
+}
+
+TEST(Cpa, StopsAtAverageAreaCriterion) {
+  const auto g = fork_join(6);
+  const IdealCost cost;
+  const auto alloc = CpaAllocator{}.allocate(g, cost, 32);
+  const auto m = cpa_metrics(g, cost, alloc, 32);
+  // After termination either the criterion holds or everything is at P.
+  bool all_maxed = true;
+  for (int a : alloc) all_maxed = all_maxed && (a == 32);
+  EXPECT_TRUE(m.t_cp <= m.t_a * (1.0 + 1e-9) || all_maxed);
+}
+
+TEST(Hcpa, RespectsSelfConstrainedCap) {
+  // fork_join(4) has a 4-wide middle level: cap = ceil(32/4) = 8.
+  const auto g = fork_join(4);
+  const IdealCost cost;
+  const auto alloc = HcpaAllocator{}.allocate(g, cost, 32);
+  for (int a : alloc) EXPECT_LE(a, 8);
+}
+
+TEST(Hcpa, CapDependsOnWidth) {
+  const IdealCost cost;
+  const auto wide = HcpaAllocator{}.allocate(fork_join(8), cost, 32);
+  const auto narrow = HcpaAllocator{}.allocate(fork_join(2), cost, 32);
+  int wide_max = 0, narrow_max = 0;
+  for (int a : wide) wide_max = std::max(wide_max, a);
+  for (int a : narrow) narrow_max = std::max(narrow_max, a);
+  EXPECT_LE(wide_max, 4);    // ceil(32/8)
+  EXPECT_LE(narrow_max, 16); // ceil(32/2)
+  EXPECT_GT(narrow_max, wide_max);
+}
+
+TEST(Hcpa, EfficiencyGateBindsOnSaturatingCurves) {
+  // tau(p) = W/p + 1.0: efficiency decays with p, so the 0.8 gate stops
+  // growth well before the cap.
+  class Saturating final : public SchedCost {
+   public:
+    double exec_time(const Task&, int p) const override {
+      return 100.0 / p + 1.0;
+    }
+    double startup_time(int) const override { return 0.0; }
+    double redist_time(const Task&, int, int) const override { return 0.0; }
+  };
+  const auto g = chain(3);
+  const auto alloc = HcpaAllocator{}.allocate(g, Saturating{}, 32);
+  // e(p) = 101 / (p * (100/p + 1)) = 101/(100 + p); e >= 0.8 -> p <= 26;
+  // but the chain cap is 32, so the gate is what binds.
+  for (int a : alloc) EXPECT_LE(a, 27);
+}
+
+TEST(Hcpa, InvalidEfficiencyRejected) {
+  EXPECT_THROW(HcpaAllocator{0.0}, InvalidArgument);
+  EXPECT_THROW(HcpaAllocator{1.5}, InvalidArgument);
+}
+
+TEST(Mcpa, LevelAllocationsNeverExceedP) {
+  // The budget is max(P, level width): every task keeps at least one
+  // processor, so a level wider than the machine starts over budget and
+  // simply never grows.
+  const IdealCost cost;
+  for (int width : {2, 4, 8}) {
+    const auto g = fork_join(width);
+    const auto levels = g.precedence_levels();
+    std::vector<int> level_width(g.num_levels(), 0);
+    for (TaskId t = 0; t < g.num_tasks(); ++t) ++level_width[levels[t]];
+    for (int P : {4, 16, 32}) {
+      const auto alloc = McpaAllocator{}.allocate(g, cost, P);
+      std::vector<int> per_level(g.num_levels(), 0);
+      for (TaskId t = 0; t < g.num_tasks(); ++t) {
+        per_level[levels[t]] += alloc[t];
+      }
+      for (int l = 0; l < g.num_levels(); ++l) {
+        EXPECT_LE(per_level[l], std::max(P, level_width[l]));
+      }
+    }
+  }
+}
+
+TEST(Mcpa, SingleTaskLevelsCanUseWholeMachine) {
+  const auto g = chain(3);
+  const IdealCost cost;
+  const auto alloc = McpaAllocator{}.allocate(g, cost, 32);
+  // Nothing caps a chain under MCPA except the CPA criterion itself.
+  int max_alloc = 0;
+  for (int a : alloc) max_alloc = std::max(max_alloc, a);
+  EXPECT_GT(max_alloc, 8);
+}
+
+TEST(Baselines, SerialAndMaxPar) {
+  const auto g = fork_join(3);
+  const IdealCost cost;
+  const auto seq = SerialAllocator{}.allocate(g, cost, 32);
+  const auto maxp = MaxParAllocator{}.allocate(g, cost, 32);
+  for (int a : seq) EXPECT_EQ(a, 1);
+  for (int a : maxp) EXPECT_EQ(a, 32);
+}
+
+TEST(Factory, KnownAndUnknownNames) {
+  for (const char* name : {"CPA", "HCPA", "MCPA", "SEQ", "MAXPAR"}) {
+    EXPECT_EQ(make_allocator(name)->name(), name);
+  }
+  EXPECT_THROW(make_allocator("HEFT"), InvalidArgument);
+}
+
+TEST(Allocation, EmptyDagRejected) {
+  Dag g;
+  const IdealCost cost;
+  EXPECT_THROW(CpaAllocator{}.allocate(g, cost, 4), InvalidArgument);
+}
+
+TEST(Allocation, InvalidPRejected) {
+  const auto g = chain(2);
+  const IdealCost cost;
+  EXPECT_THROW(CpaAllocator{}.allocate(g, cost, 0), InvalidArgument);
+}
+
+TEST(CpaMetrics, MatchesHandComputation) {
+  // Two independent tasks, P = 4, all allocations 1.
+  Dag g;
+  g.add_task(TaskKernel::MatMul, 2000);  // W = 16e9 flops -> tau = 16 s
+  g.add_task(TaskKernel::MatMul, 2000);
+  const IdealCost cost;
+  const auto m = cpa_metrics(g, cost, {1, 1}, 4);
+  EXPECT_DOUBLE_EQ(m.t_cp, 16.0);
+  EXPECT_DOUBLE_EQ(m.t_a, (16.0 + 16.0) / 4.0);
+}
+
+TEST(CpaMetrics, SizeMismatchThrows) {
+  const auto g = chain(3);
+  const IdealCost cost;
+  EXPECT_THROW(cpa_metrics(g, cost, {1, 1}, 4), InvalidArgument);
+}
+
+/// Property sweep over the Table I suite: all three algorithms produce
+/// valid allocations, MCPA respects level budgets and HCPA respects its
+/// width cap, under a cost model with realistic overheads.
+class AllocatorProperties : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static const std::vector<GeneratedDag>& suite() {
+    static const auto s = generate_table1_suite();
+    return s;
+  }
+};
+
+TEST_P(AllocatorProperties, AllAlgorithmsProduceValidAllocations) {
+  const auto& inst = suite()[GetParam()];
+  const IdealCost cost(/*startup=*/1.0);
+  const int P = 32;
+  for (const char* name : {"CPA", "HCPA", "MCPA"}) {
+    const auto alloc = make_allocator(name)->allocate(inst.graph, cost, P);
+    ASSERT_EQ(alloc.size(), inst.graph.num_tasks());
+    for (int a : alloc) {
+      EXPECT_GE(a, 1);
+      EXPECT_LE(a, P);
+    }
+  }
+  // MCPA level budgets.
+  const auto mcpa = McpaAllocator{}.allocate(inst.graph, cost, P);
+  const auto levels = inst.graph.precedence_levels();
+  std::vector<int> per_level(inst.graph.num_levels(), 0);
+  for (TaskId t = 0; t < inst.graph.num_tasks(); ++t) {
+    per_level[levels[t]] += mcpa[t];
+  }
+  for (int total : per_level) EXPECT_LE(total, P);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, AllocatorProperties,
+                         ::testing::Range<std::size_t>(0, 54, 5));
+
+}  // namespace

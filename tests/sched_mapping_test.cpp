@@ -1,0 +1,244 @@
+// Tests for the list mapping phase, schedule validation and replay-order
+// utilities.
+#include <gtest/gtest.h>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/dag/generator.hpp"
+#include "mtsched/sched/allocation.hpp"
+#include "mtsched/sched/mapping.hpp"
+
+namespace {
+
+using namespace mtsched::sched;
+using namespace mtsched::dag;
+using mtsched::core::InvalidArgument;
+
+class FlatCost final : public SchedCost {
+ public:
+  explicit FlatCost(double exec = 10.0, double startup = 0.0,
+                    double redist = 0.0)
+      : exec_(exec), startup_(startup), redist_(redist) {}
+  double exec_time(const Task&, int p) const override { return exec_ / p; }
+  double startup_time(int) const override { return startup_; }
+  double redist_time(const Task&, int, int) const override {
+    return redist_;
+  }
+
+ private:
+  double exec_, startup_, redist_;
+};
+
+Dag pair_chain() {
+  Dag g;
+  const auto a = g.add_task(TaskKernel::MatMul, 2000, "a");
+  const auto b = g.add_task(TaskKernel::MatMul, 2000, "b");
+  g.add_edge(a, b);
+  return g;
+}
+
+TEST(Mapper, SingleTaskUsesEarliestProcessors) {
+  Dag g;
+  g.add_task(TaskKernel::MatMul, 2000);
+  const FlatCost cost;
+  const auto s = ListMapper{}.map(g, {3}, cost, 8);
+  EXPECT_EQ(s.placements[0].procs, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(s.placements[0].est_start, 0.0);
+}
+
+TEST(Mapper, DependentTaskStartsAfterPredecessorPlusRedist) {
+  const auto g = pair_chain();
+  const FlatCost cost(10.0, 0.0, 2.5);
+  const auto s = ListMapper{}.map(g, {2, 2}, cost, 8);
+  EXPECT_DOUBLE_EQ(s.placements[0].est_finish, 5.0);
+  EXPECT_DOUBLE_EQ(s.placements[1].est_start, 7.5);
+  EXPECT_DOUBLE_EQ(s.est_makespan, 12.5);
+}
+
+TEST(Mapper, StartupIncludedInTaskTime) {
+  Dag g;
+  g.add_task(TaskKernel::MatMul, 2000);
+  const FlatCost cost(10.0, 3.0);
+  const auto s = ListMapper{}.map(g, {2}, cost, 4);
+  EXPECT_DOUBLE_EQ(s.placements[0].est_finish, 8.0);  // 10/2 + 3
+}
+
+TEST(Mapper, IndependentTasksRunSideBySide) {
+  Dag g;
+  g.add_task(TaskKernel::MatMul, 2000);
+  g.add_task(TaskKernel::MatMul, 2000);
+  const FlatCost cost;
+  const auto s = ListMapper{}.map(g, {2, 2}, cost, 4);
+  EXPECT_DOUBLE_EQ(s.placements[0].est_start, 0.0);
+  EXPECT_DOUBLE_EQ(s.placements[1].est_start, 0.0);
+  // Disjoint processor sets.
+  for (int pr : s.placements[0].procs) {
+    for (int qr : s.placements[1].procs) EXPECT_NE(pr, qr);
+  }
+}
+
+TEST(Mapper, SerializesWhenProcessorsScarce) {
+  Dag g;
+  g.add_task(TaskKernel::MatMul, 2000);
+  g.add_task(TaskKernel::MatMul, 2000);
+  const FlatCost cost;
+  const auto s = ListMapper{}.map(g, {4, 4}, cost, 4);
+  const double s0 = s.placements[0].est_start;
+  const double s1 = s.placements[1].est_start;
+  EXPECT_NE(s0, s1);
+  EXPECT_DOUBLE_EQ(std::max(s0, s1), 2.5);
+}
+
+TEST(Mapper, HigherBottomLevelGoesFirst) {
+  // A fork where one branch is much heavier: the heavy branch should be
+  // mapped first (lower start time) when processors are scarce.
+  Dag g;
+  const auto heavy = g.add_task(TaskKernel::MatMul, 3000, "heavy");
+  const auto light = g.add_task(TaskKernel::MatAdd, 2000, "light");
+  class KernelCost final : public SchedCost {
+   public:
+    double exec_time(const Task& t, int p) const override {
+      return kernel_flops(t.kernel, t.matrix_dim) / 1e9 / p;
+    }
+    double startup_time(int) const override { return 0.0; }
+    double redist_time(const Task&, int, int) const override { return 0.0; }
+  };
+  const auto s = ListMapper{}.map(g, {2, 2}, KernelCost{}, 2);
+  EXPECT_LT(s.placements[heavy].est_start, s.placements[light].est_start);
+}
+
+TEST(Mapper, RejectsBadAllocations) {
+  const auto g = pair_chain();
+  const FlatCost cost;
+  EXPECT_THROW(ListMapper{}.map(g, {0, 1}, cost, 4), InvalidArgument);
+  EXPECT_THROW(ListMapper{}.map(g, {5, 1}, cost, 4), InvalidArgument);
+  EXPECT_THROW(ListMapper{}.map(g, {1}, cost, 4), InvalidArgument);
+}
+
+TEST(Validator, AcceptsMapperOutput) {
+  const auto inst = generate_random_dag({});
+  const FlatCost cost;
+  const auto alloc = CpaAllocator{}.allocate(inst.graph, cost, 8);
+  const auto s = ListMapper{}.map(inst.graph, alloc, cost, 8);
+  EXPECT_NO_THROW(validate_schedule(inst.graph, s, 8));
+}
+
+TEST(Validator, CatchesCorruptions) {
+  const auto g = pair_chain();
+  const FlatCost cost;
+  auto good = ListMapper{}.map(g, {1, 1}, cost, 2);
+
+  auto s = good;
+  s.placements[0].procs.clear();
+  EXPECT_THROW(validate_schedule(g, s, 2), InvalidArgument);
+
+  s = good;
+  s.placements[0].procs = {0, 0};
+  EXPECT_THROW(validate_schedule(g, s, 2), InvalidArgument);
+
+  s = good;
+  s.placements[0].procs = {7};
+  EXPECT_THROW(validate_schedule(g, s, 2), InvalidArgument);
+
+  s = good;
+  s.placements[1].est_start = -100.0;  // starts before predecessor ends
+  EXPECT_THROW(validate_schedule(g, s, 2), InvalidArgument);
+
+  s = good;
+  s.proc_order[0].clear();  // order disagrees with placements
+  EXPECT_THROW(validate_schedule(g, s, 2), InvalidArgument);
+
+  s = good;
+  EXPECT_THROW(validate_schedule(g, s, 1), InvalidArgument);  // wrong P
+}
+
+TEST(Validator, CatchesOverlapOnSharedProcessor) {
+  Dag g;
+  g.add_task(TaskKernel::MatMul, 100, "x");
+  g.add_task(TaskKernel::MatMul, 100, "y");
+  Schedule s;
+  s.placements.resize(2);
+  s.placements[0] = {{0}, 0.0, 10.0};
+  s.placements[1] = {{0}, 5.0, 15.0};  // overlaps on proc 0
+  s.proc_order = {{0, 1}};
+  EXPECT_THROW(validate_schedule(g, s, 1), InvalidArgument);
+}
+
+TEST(ReplayOrder, CombinesDagAndProcessorOrders) {
+  // Two independent tasks forced into an order by sharing a processor.
+  Dag g;
+  g.add_task(TaskKernel::MatMul, 100);
+  g.add_task(TaskKernel::MatMul, 100);
+  Schedule s;
+  s.placements.resize(2);
+  s.placements[0] = {{0}, 0.0, 1.0};
+  s.placements[1] = {{0}, 1.0, 2.0};
+  s.proc_order = {{0, 1}};
+  const auto order = replay_order(g, s);
+  EXPECT_EQ(order, (std::vector<TaskId>{0, 1}));
+}
+
+TEST(ReplayOrder, DetectsDeadlock) {
+  // DAG says 0 -> 1 but the processor order says 1 before 0.
+  const auto g = pair_chain();
+  Schedule s;
+  s.placements.resize(2);
+  s.placements[0] = {{0}, 0.0, 1.0};
+  s.placements[1] = {{0}, 1.0, 2.0};
+  s.proc_order = {{1, 0}};
+  EXPECT_THROW(replay_order(g, s), InvalidArgument);
+}
+
+TEST(OrderPredecessors, DeduplicatesAcrossProcessors) {
+  // Task 1 follows task 0 on two processors: one order predecessor.
+  Dag g;
+  g.add_task(TaskKernel::MatMul, 100);
+  g.add_task(TaskKernel::MatMul, 100);
+  Schedule s;
+  s.placements.resize(2);
+  s.placements[0] = {{0, 1}, 0.0, 1.0};
+  s.placements[1] = {{0, 1}, 1.0, 2.0};
+  s.proc_order = {{0, 1}, {0, 1}};
+  const auto preds = order_predecessors(g, s);
+  EXPECT_TRUE(preds[0].empty());
+  EXPECT_EQ(preds[1], std::vector<TaskId>{0});
+}
+
+TEST(Schedule, AllocationAccessor) {
+  const auto g = pair_chain();
+  const FlatCost cost;
+  const auto s = ListMapper{}.map(g, {3, 2}, cost, 8);
+  EXPECT_EQ(s.allocation(), (std::vector<int>{3, 2}));
+  EXPECT_EQ(s.num_procs(), 8);
+  EXPECT_THROW(s.placement(5), InvalidArgument);
+}
+
+TEST(TwoStep, EndToEnd) {
+  const auto inst = generate_random_dag({});
+  const FlatCost cost(20.0, 1.0, 0.5);
+  const CpaAllocator cpa;
+  const TwoStepScheduler scheduler(cpa, cost, 16);
+  const auto s = scheduler.schedule(inst.graph);
+  EXPECT_NO_THROW(validate_schedule(inst.graph, s, 16));
+  EXPECT_GT(s.est_makespan, 0.0);
+}
+
+/// Sweep: mapping the full Table I suite under all three algorithms always
+/// yields schedules that pass structural validation.
+class MappingProperties : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MappingProperties, AllSchedulesValidate) {
+  static const auto suite = generate_table1_suite();
+  const auto& inst = suite[GetParam()];
+  const FlatCost cost(30.0, 1.0, 0.3);
+  for (const char* name : {"CPA", "HCPA", "MCPA"}) {
+    const auto algo = make_allocator(name);
+    const auto alloc = algo->allocate(inst.graph, cost, 32);
+    const auto s = ListMapper{}.map(inst.graph, alloc, cost, 32);
+    EXPECT_NO_THROW(validate_schedule(inst.graph, s, 32)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, MappingProperties,
+                         ::testing::Range<std::size_t>(0, 54, 7));
+
+}  // namespace

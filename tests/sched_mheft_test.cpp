@@ -1,0 +1,132 @@
+// Tests for the M-HEFT one-phase scheduler.
+#include <gtest/gtest.h>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/dag/generator.hpp"
+#include "mtsched/sched/mheft.hpp"
+
+namespace {
+
+using namespace mtsched;
+using namespace mtsched::sched;
+using namespace mtsched::dag;
+
+/// tau(t, p) = W/p + overhead*p: a cost curve with an interior optimum.
+class SaturatingCost final : public SchedCost {
+ public:
+  SaturatingCost(double work, double overhead, double redist = 0.0)
+      : work_(work), overhead_(overhead), redist_(redist) {}
+  double exec_time(const Task&, int p) const override {
+    return work_ / p + overhead_ * p;
+  }
+  double startup_time(int) const override { return 0.0; }
+  double redist_time(const Task&, int, int) const override {
+    return redist_;
+  }
+
+ private:
+  double work_, overhead_, redist_;
+};
+
+TEST(MHeft, SingleTaskPicksTheCostOptimum) {
+  // W = 64, overhead = 1: tau minimized at p = 8 (64/8 + 8 = 16).
+  Dag g;
+  g.add_task(TaskKernel::MatMul, 2000);
+  const SaturatingCost cost(64.0, 1.0);
+  const MHeftScheduler mheft(cost, 32);
+  const auto s = mheft.schedule(g);
+  EXPECT_EQ(s.placements[0].procs.size(), 8u);
+  EXPECT_DOUBLE_EQ(s.est_makespan, 16.0);
+}
+
+TEST(MHeft, TieGoesToSmallerAllocation) {
+  // Flat cost: every p gives the same finish; p = 1 must win.
+  class Flat final : public SchedCost {
+   public:
+    double exec_time(const Task&, int) const override { return 5.0; }
+    double startup_time(int) const override { return 0.0; }
+    double redist_time(const Task&, int, int) const override { return 0.0; }
+  };
+  Dag g;
+  g.add_task(TaskKernel::MatMul, 2000);
+  const Flat cost;
+  const MHeftScheduler mheft(cost, 32);
+  const auto s = mheft.schedule(g);
+  EXPECT_EQ(s.placements[0].procs.size(), 1u);
+}
+
+TEST(MHeft, IndependentTasksSpreadAcrossTheMachine) {
+  Dag g;
+  for (int i = 0; i < 4; ++i) g.add_task(TaskKernel::MatMul, 2000);
+  const SaturatingCost cost(64.0, 1.0);
+  const MHeftScheduler mheft(cost, 32);
+  const auto s = mheft.schedule(g);
+  // 4 tasks x 8 procs fit side by side: all start at 0.
+  for (const auto& pl : s.placements) {
+    EXPECT_DOUBLE_EQ(pl.est_start, 0.0);
+  }
+}
+
+TEST(MHeft, ScarcityShrinksAllocations) {
+  // W = 12, overhead = 1 on P = 5: the first task takes its cost-optimal
+  // 3 processors (tau = 7). For the second, waiting for 3 processors
+  // (7 + 7 = 14) loses to running on the 2 idle ones right away
+  // (tau(2) = 8) — M-HEFT narrows under scarcity, which a two-step
+  // algorithm cannot do.
+  Dag g;
+  g.add_task(TaskKernel::MatMul, 2000);
+  g.add_task(TaskKernel::MatMul, 2000);
+  const SaturatingCost cost(12.0, 1.0);
+  const MHeftScheduler mheft(cost, 5);
+  const auto s = mheft.schedule(g);
+  EXPECT_EQ(s.placements[0].procs.size(), 3u);
+  EXPECT_EQ(s.placements[1].procs.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.placements[1].est_finish, 8.0);
+}
+
+TEST(MHeft, RespectsMaxAllocCap) {
+  Dag g;
+  g.add_task(TaskKernel::MatMul, 2000);
+  const SaturatingCost cost(1000.0, 0.0);  // wants everything
+  const MHeftScheduler capped(cost, 32, 4);
+  EXPECT_EQ(capped.schedule(g).placements[0].procs.size(), 4u);
+}
+
+TEST(MHeft, AccountsRedistributionInEst) {
+  Dag g;
+  const auto a = g.add_task(TaskKernel::MatMul, 2000, "a");
+  const auto b = g.add_task(TaskKernel::MatMul, 2000, "b");
+  g.add_edge(a, b);
+  const SaturatingCost cost(64.0, 1.0, /*redist=*/2.5);
+  const MHeftScheduler mheft(cost, 32);
+  const auto s = mheft.schedule(g);
+  EXPECT_DOUBLE_EQ(s.placements[b].est_start,
+                   s.placements[a].est_finish + 2.5);
+}
+
+TEST(MHeft, Validation) {
+  const SaturatingCost cost(64.0, 1.0);
+  EXPECT_THROW(MHeftScheduler(cost, 0), core::InvalidArgument);
+  EXPECT_THROW(MHeftScheduler(cost, 8, 9), core::InvalidArgument);
+  Dag empty;
+  const MHeftScheduler mheft(cost, 8);
+  EXPECT_THROW(mheft.schedule(empty), core::InvalidArgument);
+}
+
+/// Sweep over the Table I suite: M-HEFT schedules always validate.
+class MHeftSuite : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MHeftSuite, SchedulesValidate) {
+  static const auto suite = generate_table1_suite();
+  const auto& inst = suite[GetParam()];
+  const SaturatingCost cost(40.0, 0.4, 0.8);
+  const MHeftScheduler mheft(cost, 32);
+  const auto s = mheft.schedule(inst.graph);
+  EXPECT_NO_THROW(validate_schedule(inst.graph, s, 32));
+  EXPECT_GT(s.est_makespan, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, MHeftSuite,
+                         ::testing::Range<std::size_t>(0, 54, 6));
+
+}  // namespace

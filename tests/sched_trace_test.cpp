@@ -1,0 +1,88 @@
+// Tests for the execution-trace rendering (ASCII Gantt, CSV).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/sched/trace.hpp"
+
+namespace {
+
+using namespace mtsched;
+using namespace mtsched::sched;
+
+dag::Dag two_tasks() {
+  dag::Dag g;
+  const auto a = g.add_task(dag::TaskKernel::MatMul, 100, "a");
+  const auto b = g.add_task(dag::TaskKernel::MatAdd, 100, "b");
+  g.add_edge(a, b);
+  return g;
+}
+
+RunTrace sample_trace() {
+  RunTrace t;
+  t.tasks = {TaskSpan{0.0, 1.0, 5.0}, TaskSpan{5.0, 6.0, 10.0}};
+  t.edges = {EdgeSpan{0, 1, 5.0, 5.2, 5.8}};
+  t.makespan = 10.0;
+  return t;
+}
+
+TEST(Gantt, LanesMarkStartupAndCompute) {
+  const auto g = two_tasks();
+  const auto t = sample_trace();
+  const auto chart = t.ascii_gantt(g, {{0}, {1}}, 2, 20);
+  std::istringstream is(chart);
+  std::string header, lane0, lane1;
+  std::getline(is, header);
+  std::getline(is, lane0);
+  std::getline(is, lane1);
+  EXPECT_NE(header.find("10"), std::string::npos);  // makespan in header
+  EXPECT_NE(lane0.find('s'), std::string::npos);    // startup marker
+  EXPECT_NE(lane0.find('A'), std::string::npos);    // task 0 computing
+  EXPECT_NE(lane1.find('B'), std::string::npos);    // task 1 computing
+  EXPECT_EQ(lane0.find('B'), std::string::npos);    // not on lane 0
+}
+
+TEST(Gantt, SharedProcessorShowsBothTasks) {
+  const auto g = two_tasks();
+  const auto t = sample_trace();
+  const auto chart = t.ascii_gantt(g, {{0}, {0}}, 1, 40);
+  std::istringstream is(chart);
+  std::string header, lane0;
+  std::getline(is, header);
+  std::getline(is, lane0);
+  EXPECT_NE(lane0.find('A'), std::string::npos);
+  EXPECT_NE(lane0.find('B'), std::string::npos);
+}
+
+TEST(Gantt, Validation) {
+  const auto g = two_tasks();
+  auto t = sample_trace();
+  EXPECT_THROW(t.ascii_gantt(g, {{0}}, 2), core::InvalidArgument);  // sizes
+  EXPECT_THROW(t.ascii_gantt(g, {{0}, {5}}, 2), core::InvalidArgument);
+  t.tasks.pop_back();
+  EXPECT_THROW(t.ascii_gantt(g, {{0}, {1}}, 2), core::InvalidArgument);
+}
+
+TEST(TraceCsv, RowsAndValues) {
+  const auto t = sample_trace();
+  const auto csv = t.to_csv();
+  std::istringstream is(csv);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);  // header + 2 tasks + 1 edge
+  EXPECT_EQ(lines[1].rfind("task,0,0,1,5", 0), 0u);
+  EXPECT_EQ(lines[3].rfind("edge,0,1,5,5.2,5.8", 0), 0u);
+}
+
+TEST(Gantt, ZeroMakespanDoesNotDivide) {
+  dag::Dag g;
+  g.add_task(dag::TaskKernel::MatMul, 100);
+  RunTrace t;
+  t.tasks = {TaskSpan{}};
+  t.makespan = 0.0;
+  EXPECT_NO_THROW(t.ascii_gantt(g, {{0}}, 1));
+}
+
+}  // namespace

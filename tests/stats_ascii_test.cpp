@@ -1,0 +1,60 @@
+// Tests for the ASCII figure renderers used by the benchmark harnesses.
+#include <gtest/gtest.h>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/stats/ascii.hpp"
+
+namespace {
+
+using namespace mtsched::stats;
+using mtsched::core::InvalidArgument;
+
+TEST(PairedBars, ContainsLabelsValuesAndLegends) {
+  std::vector<PairedBar> bars{{"dag1", -0.2, 0.1}, {"dag2", 0.3, 0.25}};
+  const auto s = render_paired_bars(bars, 0.5, "sim", "exp");
+  EXPECT_NE(s.find("dag1"), std::string::npos);
+  EXPECT_NE(s.find("dag2"), std::string::npos);
+  EXPECT_NE(s.find("sim"), std::string::npos);
+  EXPECT_NE(s.find("exp"), std::string::npos);
+  EXPECT_NE(s.find("-0.200"), std::string::npos);
+}
+
+TEST(PairedBars, RejectsNonPositiveScale) {
+  EXPECT_THROW(render_paired_bars({}, 0.0), InvalidArgument);
+}
+
+TEST(Series, BarsScaleWithValues) {
+  const auto s =
+      render_series({1, 2, 3}, {0.0, 0.5, 1.0}, "p", "time");
+  // The largest value produces the longest bar.
+  const auto long_bar = s.find(std::string(40, '#'));
+  EXPECT_NE(long_bar, std::string::npos);
+}
+
+TEST(Series, MismatchedSizesThrow) {
+  EXPECT_THROW(render_series({1, 2}, {1}, "x", "y"), InvalidArgument);
+  EXPECT_THROW(render_series({}, {}, "x", "y"), InvalidArgument);
+}
+
+TEST(BoxRow, MarksMedianBoxAndWhiskers) {
+  BoxStats b;
+  b.q1 = 2.0;
+  b.median = 3.0;
+  b.q3 = 4.0;
+  b.whisker_lo = 1.0;
+  b.whisker_hi = 5.0;
+  b.outliers = {9.0};
+  const auto s = render_box_row("model", b, 0.0, 10.0, 40);
+  EXPECT_NE(s.find('M'), std::string::npos);
+  EXPECT_NE(s.find('='), std::string::npos);
+  EXPECT_NE(s.find('-'), std::string::npos);
+  EXPECT_NE(s.find('o'), std::string::npos);
+  EXPECT_NE(s.find("model"), std::string::npos);
+}
+
+TEST(BoxRow, DegenerateRangeThrows) {
+  BoxStats b;
+  EXPECT_THROW(render_box_row("x", b, 1.0, 1.0), InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Unit tests for mtsched::stats summaries, quantiles and box statistics.
+#include <gtest/gtest.h>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/core/rng.hpp"
+#include "mtsched/stats/summary.hpp"
+
+namespace {
+
+using namespace mtsched::stats;
+using mtsched::core::InvalidArgument;
+
+TEST(Summarize, KnownValues) {
+  const auto s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, SingleElement) {
+  const auto s = summarize({3.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, EmptyThrows) {
+  EXPECT_THROW(summarize({}), InvalidArgument);
+}
+
+TEST(Mean, Basic) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_THROW(mean({}), InvalidArgument);
+}
+
+TEST(Quantile, Type7Interpolation) {
+  // R/numpy default: quantile(c(1,2,3,4), 0.25) == 1.75
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.0), 1.0);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(quantile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+}
+
+TEST(Quantile, BadOrderThrows) {
+  EXPECT_THROW(quantile({1.0}, -0.1), InvalidArgument);
+  EXPECT_THROW(quantile({1.0}, 1.1), InvalidArgument);
+  EXPECT_THROW(quantile({}, 0.5), InvalidArgument);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(BoxStats, NoOutliers) {
+  const auto b = box_stats({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.q1, 2.0);
+  EXPECT_DOUBLE_EQ(b.q3, 4.0);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 5.0);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+TEST(BoxStats, DetectsOutlier) {
+  // 100 is way beyond q3 + 1.5 IQR.
+  const auto b = box_stats({1.0, 2.0, 3.0, 4.0, 5.0, 100.0});
+  ASSERT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers[0], 100.0);
+  EXPECT_LE(b.whisker_hi, 5.0);
+}
+
+TEST(BoxStats, WhiskersStopAtExtremeDataWithinFence) {
+  const auto b = box_stats({0.0, 10.0, 11.0, 12.0, 13.0, 14.0, 30.0});
+  // Fences: q1=10.5, q3=13.5, iqr=3 -> [6, 18]; 0 and 30 are outliers.
+  EXPECT_EQ(b.outliers.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 10.0);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 14.0);
+}
+
+TEST(BoxStats, ConstantSample) {
+  const auto b = box_stats({2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(b.median, 2.0);
+  EXPECT_DOUBLE_EQ(b.q1, 2.0);
+  EXPECT_DOUBLE_EQ(b.q3, 2.0);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+TEST(BoxStats, EmptyThrows) {
+  EXPECT_THROW(box_stats({}), InvalidArgument);
+}
+
+TEST(BoxStats, OutliersSorted) {
+  const auto b = box_stats({10.0, 10.1, 10.2, 10.3, 500.0, -200.0});
+  ASSERT_EQ(b.outliers.size(), 2u);
+  EXPECT_LT(b.outliers[0], b.outliers[1]);
+}
+
+/// Property sweep: box statistics are always ordered and whiskers bracket
+/// the quartiles for a family of synthetic samples.
+class BoxStatsOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxStatsOrder, Invariants) {
+  mtsched::core::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  const int n = 5 + GetParam() % 40;
+  for (int i = 0; i < n; ++i) xs.push_back(rng.normal(50.0, 10.0));
+  const auto b = box_stats(xs);
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+  EXPECT_LE(b.whisker_lo, b.q1 + 1e-12);
+  EXPECT_GE(b.whisker_hi, b.q3 - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BoxStatsOrder, ::testing::Range(1, 21));
+
+}  // namespace

@@ -1,0 +1,285 @@
+// mtsched command-line interface.
+//
+//   mtsched_cli gen-dag     [--tasks N] [--width V] [--ratio R] [--dim N]
+//                           [--seed S] [--dot]
+//   mtsched_cli gen-daggen  [--tasks N] [--fat F] [--density D]
+//                           [--regularity R] [--jump J] [--ratio R]
+//                           [--dim N] [--seed S] [--dot]
+//   mtsched_cli schedule    --algo CPA|HCPA|MCPA|SEQ|MAXPAR
+//                           [--model analytical|profile|empirical]
+//                           [--dag FILE] [--machine FILE]
+//   mtsched_cli run         --algo A [--model M] [--dag FILE]
+//                           [--machine FILE] [--exp-seed S] [--gantt]
+//   mtsched_cli case-study  [--dim 2000|3000] [--exp-seed S]
+//                           [--machine FILE]
+//   mtsched_cli export-machine   # dump the built-in cluster as tables
+//
+// DAGs are read from --dag FILE (or stdin when omitted) in the format of
+// `gen-dag`'s output; --machine FILE loads measurement tables (see
+// machine/table_machine.hpp) instead of the built-in behaviour model.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "mtsched/core/table.hpp"
+#include "mtsched/dag/apps.hpp"
+#include "mtsched/dag/daggen.hpp"
+#include "mtsched/dag/export.hpp"
+#include "mtsched/dag/generator.hpp"
+#include "mtsched/exp/case_study.hpp"
+#include "mtsched/exp/lab.hpp"
+#include "mtsched/exp/report.hpp"
+#include "mtsched/machine/table_machine.hpp"
+#include "mtsched/sched/allocation.hpp"
+#include "mtsched/sched/mapping.hpp"
+#include "mtsched/sim/simulator.hpp"
+
+namespace {
+
+using namespace mtsched;
+
+[[noreturn]] void usage(const std::string& error = {}) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: mtsched_cli <command> [options]\n"
+      "commands:\n"
+      "  gen-dag        generate a Table I style random DAG\n"
+      "  gen-daggen     generate a DAGGEN-style layered DAG\n"
+      "  gen-strassen   generate a Strassen multiplication DAG\n"
+      "  gen-lu         generate a blocked LU factorization DAG\n"
+      "  schedule       compute a schedule for a DAG\n"
+      "  run            schedule + simulate + execute one DAG\n"
+      "  case-study     the paper's full HCPA-vs-MCPA comparison\n"
+      "  export-machine dump the built-in cluster measurement tables\n"
+      "run 'mtsched_cli <command> --help' semantics: see tool header\n";
+  std::exit(2);
+}
+
+/// Minimal --key value / --flag parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) usage("unexpected argument '" + a + "'");
+      a = a.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[a] = argv[++i];
+      } else {
+        values_[a] = "";
+      }
+    }
+  }
+
+  std::string str(const std::string& key, const std::string& dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+  double num(const std::string& key, double dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::stod(it->second);
+  }
+  bool flag(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::string read_all(std::istream& is) {
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+dag::Dag load_dag(const Args& args) {
+  const auto path = args.str("dag", "");
+  if (path.empty()) {
+    std::cerr << "(reading DAG from stdin)\n";
+    return dag::from_text(read_all(std::cin));
+  }
+  std::ifstream f(path);
+  if (!f) usage("cannot open DAG file '" + path + "'");
+  return dag::from_text(read_all(f));
+}
+
+std::unique_ptr<exp::Lab> make_lab(const Args& args) {
+  const auto path = args.str("machine", "");
+  if (path.empty()) return std::make_unique<exp::Lab>();
+  std::ifstream f(path);
+  if (!f) usage("cannot open machine file '" + path + "'");
+  auto tables = machine::parse_machine_tables(read_all(f));
+  auto model = std::make_unique<machine::TableMachineModel>(std::move(tables));
+  auto spec = platform::bayreuth32();
+  spec.num_nodes = model->max_procs();
+  spec.node.flops = model->nominal_flops();
+  exp::LabConfig cfg;
+  cfg.sample_plan = profiling::SamplePlan::scaled(model->max_procs());
+  return std::make_unique<exp::Lab>(std::move(model), spec, cfg);
+}
+
+models::CostModelKind model_kind(const Args& args) {
+  const auto name = args.str("model", "profile");
+  if (name == "analytical") return models::CostModelKind::Analytical;
+  if (name == "profile") return models::CostModelKind::Profile;
+  if (name == "empirical") return models::CostModelKind::Empirical;
+  usage("unknown cost model '" + name + "'");
+}
+
+int cmd_gen_dag(const Args& args) {
+  dag::DagGenParams p;
+  p.num_tasks = static_cast<int>(args.num("tasks", 10));
+  p.width = static_cast<int>(args.num("width", 4));
+  p.add_ratio = args.num("ratio", 0.5);
+  p.matrix_dim = static_cast<int>(args.num("dim", 2000));
+  p.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const auto inst = dag::generate_random_dag(p);
+  std::cout << (args.flag("dot") ? dag::to_dot(inst.graph, "dag")
+                                 : dag::to_text(inst.graph));
+  return 0;
+}
+
+int cmd_gen_daggen(const Args& args) {
+  dag::DaggenParams p;
+  p.num_tasks = static_cast<int>(args.num("tasks", 20));
+  p.fat = args.num("fat", 0.5);
+  p.density = args.num("density", 0.5);
+  p.regularity = args.num("regularity", 0.5);
+  p.jump = static_cast<int>(args.num("jump", 2));
+  p.add_ratio = args.num("ratio", 0.5);
+  p.matrix_dim = static_cast<int>(args.num("dim", 2000));
+  p.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const auto g = dag::generate_daggen(p);
+  std::cout << (args.flag("dot") ? dag::to_dot(g, "dag") : dag::to_text(g));
+  return 0;
+}
+
+int cmd_gen_strassen(const Args& args) {
+  const auto g = dag::strassen_dag(static_cast<int>(args.num("dim", 2000)),
+                                   static_cast<int>(args.num("levels", 1)));
+  std::cout << (args.flag("dot") ? dag::to_dot(g, "strassen")
+                                 : dag::to_text(g));
+  return 0;
+}
+
+int cmd_gen_lu(const Args& args) {
+  const auto g =
+      dag::block_lu_dag(static_cast<int>(args.num("blocks", 4)),
+                        static_cast<int>(args.num("dim", 1000)));
+  std::cout << (args.flag("dot") ? dag::to_dot(g, "lu") : dag::to_text(g));
+  return 0;
+}
+
+sched::Schedule compute_schedule(const dag::Dag& g, const exp::Lab& lab,
+                                 const Args& args) {
+  const auto algo = sched::make_allocator(args.str("algo", "HCPA"));
+  const models::SchedCostAdapter cost(lab.model(model_kind(args)));
+  const auto strategy = args.flag("redist-aware")
+                            ? sched::MappingStrategy::RedistributionAware
+                            : sched::MappingStrategy::EarliestStart;
+  const auto alloc = algo->allocate(g, cost, lab.spec().num_nodes);
+  return sched::ListMapper(strategy).map(g, alloc, cost,
+                                         lab.spec().num_nodes);
+}
+
+int cmd_schedule(const Args& args) {
+  const auto g = load_dag(args);
+  const auto lab = make_lab(args);
+  const auto s = compute_schedule(g, *lab, args);
+  core::TextTable t;
+  t.set_header({"task", "kernel", "procs", "est start", "est finish"});
+  for (dag::TaskId id = 0; id < g.num_tasks(); ++id) {
+    std::string procs;
+    for (std::size_t i = 0; i < s.placements[id].procs.size(); ++i) {
+      procs += (i ? "," : "") + std::to_string(s.placements[id].procs[i]);
+    }
+    t.add_row({g.task(id).name, dag::kernel_name(g.task(id).kernel), procs,
+               core::fmt(s.placements[id].est_start, 2),
+               core::fmt(s.placements[id].est_finish, 2)});
+  }
+  std::cout << t.render();
+  std::cout << "estimated makespan: " << core::fmt(s.est_makespan, 2)
+            << " s\n";
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const auto g = load_dag(args);
+  const auto lab = make_lab(args);
+  const auto s = compute_schedule(g, *lab, args);
+  const auto& model = lab->model(model_kind(args));
+  const auto sim_trace = sim::Simulator(model).run(g, s);
+  const auto exp_seed =
+      static_cast<std::uint64_t>(args.num("exp-seed", 42));
+  const auto exp_trace = lab->rig().run(g, s, exp_seed);
+  std::cout << "scheduler estimate: " << core::fmt(s.est_makespan, 2)
+            << " s\n"
+            << "simulated makespan: " << core::fmt(sim_trace.makespan, 2)
+            << " s (" << model.name() << " model)\n"
+            << "measured makespan:  " << core::fmt(exp_trace.makespan, 2)
+            << " s (seed " << exp_seed << ")\n"
+            << "simulation error:   "
+            << core::fmt(std::abs(exp_trace.makespan - sim_trace.makespan) /
+                             sim_trace.makespan * 100.0,
+                         1)
+            << " % of the simulated value\n";
+  if (args.flag("gantt")) {
+    std::vector<std::vector<int>> procs;
+    for (const auto& pl : s.placements) procs.push_back(pl.procs);
+    std::cout << "\nexperimental timeline:\n"
+              << exp_trace.ascii_gantt(g, procs, lab->spec().num_nodes);
+  }
+  return 0;
+}
+
+int cmd_case_study(const Args& args) {
+  const auto lab = make_lab(args);
+  const auto suite = dag::generate_table1_suite();
+  const int dim = static_cast<int>(args.num("dim", 2000));
+  const auto exp_seed =
+      static_cast<std::uint64_t>(args.num("exp-seed", 42));
+  for (auto kind :
+       {models::CostModelKind::Analytical, models::CostModelKind::Profile,
+        models::CostModelKind::Empirical}) {
+    const exp::CaseStudy study(lab->model(kind), lab->rig());
+    const auto result = study.run_suite(suite, exp_seed);
+    const auto subset = result.with_dim(dim);
+    std::cout << result.model_name << " model, n = " << dim << ": "
+              << exp::count_flips(subset) << "/" << subset.size()
+              << " verdict flips\n";
+  }
+  return 0;
+}
+
+int cmd_export_machine(const Args&) {
+  const machine::JavaClusterModel java;
+  const auto tables = machine::snapshot_tables(
+      java, {{dag::TaskKernel::MatMul, 2000},
+             {dag::TaskKernel::MatMul, 3000},
+             {dag::TaskKernel::MatAdd, 2000},
+             {dag::TaskKernel::MatAdd, 3000}});
+  std::cout << machine::to_text(tables);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (cmd == "gen-dag") return cmd_gen_dag(args);
+    if (cmd == "gen-daggen") return cmd_gen_daggen(args);
+    if (cmd == "gen-strassen") return cmd_gen_strassen(args);
+    if (cmd == "gen-lu") return cmd_gen_lu(args);
+    if (cmd == "schedule") return cmd_schedule(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "case-study") return cmd_case_study(args);
+    if (cmd == "export-machine") return cmd_export_machine(args);
+    usage("unknown command '" + cmd + "'");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
