@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overhead_terms.dir/ablation_overhead_terms.cpp.o"
+  "CMakeFiles/ablation_overhead_terms.dir/ablation_overhead_terms.cpp.o.d"
+  "ablation_overhead_terms"
+  "ablation_overhead_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overhead_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_analytical_vs_experiment.
+# This may be replaced when dependencies are built.

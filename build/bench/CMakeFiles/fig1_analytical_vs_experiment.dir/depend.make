@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_analytical_vs_experiment.
+# This may be replaced when dependencies are built.

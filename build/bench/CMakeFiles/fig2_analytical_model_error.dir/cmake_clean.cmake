@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_analytical_model_error.dir/fig2_analytical_model_error.cpp.o"
+  "CMakeFiles/fig2_analytical_model_error.dir/fig2_analytical_model_error.cpp.o.d"
+  "fig2_analytical_model_error"
+  "fig2_analytical_model_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_analytical_model_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_startup_overhead.dir/fig3_startup_overhead.cpp.o"
+  "CMakeFiles/fig3_startup_overhead.dir/fig3_startup_overhead.cpp.o.d"
+  "fig3_startup_overhead"
+  "fig3_startup_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_startup_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

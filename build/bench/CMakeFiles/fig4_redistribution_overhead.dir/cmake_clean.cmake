@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_redistribution_overhead.dir/fig4_redistribution_overhead.cpp.o"
+  "CMakeFiles/fig4_redistribution_overhead.dir/fig4_redistribution_overhead.cpp.o.d"
+  "fig4_redistribution_overhead"
+  "fig4_redistribution_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_redistribution_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

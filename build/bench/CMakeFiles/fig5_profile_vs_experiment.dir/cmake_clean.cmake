@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_profile_vs_experiment.dir/fig5_profile_vs_experiment.cpp.o"
+  "CMakeFiles/fig5_profile_vs_experiment.dir/fig5_profile_vs_experiment.cpp.o.d"
+  "fig5_profile_vs_experiment"
+  "fig5_profile_vs_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_profile_vs_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

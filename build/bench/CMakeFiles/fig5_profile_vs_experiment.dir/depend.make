@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_profile_vs_experiment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_regression_fit.dir/fig6_regression_fit.cpp.o"
+  "CMakeFiles/fig6_regression_fit.dir/fig6_regression_fit.cpp.o.d"
+  "fig6_regression_fit"
+  "fig6_regression_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_regression_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

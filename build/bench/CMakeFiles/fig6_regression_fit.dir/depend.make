@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_regression_fit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_empirical_vs_experiment.dir/fig7_empirical_vs_experiment.cpp.o"
+  "CMakeFiles/fig7_empirical_vs_experiment.dir/fig7_empirical_vs_experiment.cpp.o.d"
+  "fig7_empirical_vs_experiment"
+  "fig7_empirical_vs_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_empirical_vs_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

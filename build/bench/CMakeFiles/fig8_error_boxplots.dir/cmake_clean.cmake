@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_error_boxplots.dir/fig8_error_boxplots.cpp.o"
+  "CMakeFiles/fig8_error_boxplots.dir/fig8_error_boxplots.cpp.o.d"
+  "fig8_error_boxplots"
+  "fig8_error_boxplots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_error_boxplots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_seed_sweep.dir/robustness_seed_sweep.cpp.o"
+  "CMakeFiles/robustness_seed_sweep.dir/robustness_seed_sweep.cpp.o.d"
+  "robustness_seed_sweep"
+  "robustness_seed_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_seed_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

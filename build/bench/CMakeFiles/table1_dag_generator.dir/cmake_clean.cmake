@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dag_generator.dir/table1_dag_generator.cpp.o"
+  "CMakeFiles/table1_dag_generator.dir/table1_dag_generator.cpp.o.d"
+  "table1_dag_generator"
+  "table1_dag_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dag_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

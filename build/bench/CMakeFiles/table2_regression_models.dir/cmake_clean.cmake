@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_regression_models.dir/table2_regression_models.cpp.o"
+  "CMakeFiles/table2_regression_models.dir/table2_regression_models.cpp.o.d"
+  "table2_regression_models"
+  "table2_regression_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_regression_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_showdown.dir/algorithm_showdown.cpp.o"
+  "CMakeFiles/algorithm_showdown.dir/algorithm_showdown.cpp.o.d"
+  "algorithm_showdown"
+  "algorithm_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gantt_trace.dir/gantt_trace.cpp.o"
+  "CMakeFiles/gantt_trace.dir/gantt_trace.cpp.o.d"
+  "gantt_trace"
+  "gantt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gantt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

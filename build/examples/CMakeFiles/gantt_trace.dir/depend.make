@@ -1,0 +1,2 @@
+# Empty dependencies file for gantt_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_calibration.dir/platform_calibration.cpp.o"
+  "CMakeFiles/platform_calibration.dir/platform_calibration.cpp.o.d"
+  "platform_calibration"
+  "platform_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

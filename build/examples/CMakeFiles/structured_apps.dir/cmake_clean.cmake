@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structured_apps.dir/structured_apps.cpp.o"
+  "CMakeFiles/structured_apps.dir/structured_apps.cpp.o.d"
+  "structured_apps"
+  "structured_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structured_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("stats")
+subdirs("dag")
+subdirs("platform")
+subdirs("redist")
+subdirs("simcore")
+subdirs("machine")
+subdirs("tgrid")
+subdirs("models")
+subdirs("sched")
+subdirs("sim")
+subdirs("profiling")
+subdirs("exp")

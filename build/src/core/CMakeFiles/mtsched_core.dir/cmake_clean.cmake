@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsched_core.dir/src/log.cpp.o"
+  "CMakeFiles/mtsched_core.dir/src/log.cpp.o.d"
+  "CMakeFiles/mtsched_core.dir/src/rng.cpp.o"
+  "CMakeFiles/mtsched_core.dir/src/rng.cpp.o.d"
+  "CMakeFiles/mtsched_core.dir/src/table.cpp.o"
+  "CMakeFiles/mtsched_core.dir/src/table.cpp.o.d"
+  "libmtsched_core.a"
+  "libmtsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

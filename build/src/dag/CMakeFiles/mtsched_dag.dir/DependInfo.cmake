@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/src/apps.cpp" "src/dag/CMakeFiles/mtsched_dag.dir/src/apps.cpp.o" "gcc" "src/dag/CMakeFiles/mtsched_dag.dir/src/apps.cpp.o.d"
+  "/root/repo/src/dag/src/dag.cpp" "src/dag/CMakeFiles/mtsched_dag.dir/src/dag.cpp.o" "gcc" "src/dag/CMakeFiles/mtsched_dag.dir/src/dag.cpp.o.d"
+  "/root/repo/src/dag/src/daggen.cpp" "src/dag/CMakeFiles/mtsched_dag.dir/src/daggen.cpp.o" "gcc" "src/dag/CMakeFiles/mtsched_dag.dir/src/daggen.cpp.o.d"
+  "/root/repo/src/dag/src/export.cpp" "src/dag/CMakeFiles/mtsched_dag.dir/src/export.cpp.o" "gcc" "src/dag/CMakeFiles/mtsched_dag.dir/src/export.cpp.o.d"
+  "/root/repo/src/dag/src/generator.cpp" "src/dag/CMakeFiles/mtsched_dag.dir/src/generator.cpp.o" "gcc" "src/dag/CMakeFiles/mtsched_dag.dir/src/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtsched_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

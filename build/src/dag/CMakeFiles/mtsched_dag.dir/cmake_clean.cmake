@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsched_dag.dir/src/apps.cpp.o"
+  "CMakeFiles/mtsched_dag.dir/src/apps.cpp.o.d"
+  "CMakeFiles/mtsched_dag.dir/src/dag.cpp.o"
+  "CMakeFiles/mtsched_dag.dir/src/dag.cpp.o.d"
+  "CMakeFiles/mtsched_dag.dir/src/daggen.cpp.o"
+  "CMakeFiles/mtsched_dag.dir/src/daggen.cpp.o.d"
+  "CMakeFiles/mtsched_dag.dir/src/export.cpp.o"
+  "CMakeFiles/mtsched_dag.dir/src/export.cpp.o.d"
+  "CMakeFiles/mtsched_dag.dir/src/generator.cpp.o"
+  "CMakeFiles/mtsched_dag.dir/src/generator.cpp.o.d"
+  "libmtsched_dag.a"
+  "libmtsched_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsched_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsched_exp.dir/src/case_study.cpp.o"
+  "CMakeFiles/mtsched_exp.dir/src/case_study.cpp.o.d"
+  "CMakeFiles/mtsched_exp.dir/src/lab.cpp.o"
+  "CMakeFiles/mtsched_exp.dir/src/lab.cpp.o.d"
+  "CMakeFiles/mtsched_exp.dir/src/report.cpp.o"
+  "CMakeFiles/mtsched_exp.dir/src/report.cpp.o.d"
+  "libmtsched_exp.a"
+  "libmtsched_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsched_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

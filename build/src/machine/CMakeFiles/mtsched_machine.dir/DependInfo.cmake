@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/src/java_cluster.cpp" "src/machine/CMakeFiles/mtsched_machine.dir/src/java_cluster.cpp.o" "gcc" "src/machine/CMakeFiles/mtsched_machine.dir/src/java_cluster.cpp.o.d"
+  "/root/repo/src/machine/src/machine_model.cpp" "src/machine/CMakeFiles/mtsched_machine.dir/src/machine_model.cpp.o" "gcc" "src/machine/CMakeFiles/mtsched_machine.dir/src/machine_model.cpp.o.d"
+  "/root/repo/src/machine/src/pdgemm.cpp" "src/machine/CMakeFiles/mtsched_machine.dir/src/pdgemm.cpp.o" "gcc" "src/machine/CMakeFiles/mtsched_machine.dir/src/pdgemm.cpp.o.d"
+  "/root/repo/src/machine/src/table_machine.cpp" "src/machine/CMakeFiles/mtsched_machine.dir/src/table_machine.cpp.o" "gcc" "src/machine/CMakeFiles/mtsched_machine.dir/src/table_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/mtsched_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/mtsched_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsched_machine.dir/src/java_cluster.cpp.o"
+  "CMakeFiles/mtsched_machine.dir/src/java_cluster.cpp.o.d"
+  "CMakeFiles/mtsched_machine.dir/src/machine_model.cpp.o"
+  "CMakeFiles/mtsched_machine.dir/src/machine_model.cpp.o.d"
+  "CMakeFiles/mtsched_machine.dir/src/pdgemm.cpp.o"
+  "CMakeFiles/mtsched_machine.dir/src/pdgemm.cpp.o.d"
+  "CMakeFiles/mtsched_machine.dir/src/table_machine.cpp.o"
+  "CMakeFiles/mtsched_machine.dir/src/table_machine.cpp.o.d"
+  "libmtsched_machine.a"
+  "libmtsched_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsched_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

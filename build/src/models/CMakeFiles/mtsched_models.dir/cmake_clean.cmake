@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsched_models.dir/src/analytical.cpp.o"
+  "CMakeFiles/mtsched_models.dir/src/analytical.cpp.o.d"
+  "CMakeFiles/mtsched_models.dir/src/cost_model.cpp.o"
+  "CMakeFiles/mtsched_models.dir/src/cost_model.cpp.o.d"
+  "CMakeFiles/mtsched_models.dir/src/empirical.cpp.o"
+  "CMakeFiles/mtsched_models.dir/src/empirical.cpp.o.d"
+  "CMakeFiles/mtsched_models.dir/src/profile.cpp.o"
+  "CMakeFiles/mtsched_models.dir/src/profile.cpp.o.d"
+  "libmtsched_models.a"
+  "libmtsched_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsched_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

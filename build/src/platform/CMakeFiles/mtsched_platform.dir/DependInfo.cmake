@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/src/cluster.cpp" "src/platform/CMakeFiles/mtsched_platform.dir/src/cluster.cpp.o" "gcc" "src/platform/CMakeFiles/mtsched_platform.dir/src/cluster.cpp.o.d"
+  "/root/repo/src/platform/src/parser.cpp" "src/platform/CMakeFiles/mtsched_platform.dir/src/parser.cpp.o" "gcc" "src/platform/CMakeFiles/mtsched_platform.dir/src/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtsched_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

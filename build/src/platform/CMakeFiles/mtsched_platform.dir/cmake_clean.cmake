@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsched_platform.dir/src/cluster.cpp.o"
+  "CMakeFiles/mtsched_platform.dir/src/cluster.cpp.o.d"
+  "CMakeFiles/mtsched_platform.dir/src/parser.cpp.o"
+  "CMakeFiles/mtsched_platform.dir/src/parser.cpp.o.d"
+  "libmtsched_platform.a"
+  "libmtsched_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsched_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsched_profiling.dir/src/profiler.cpp.o"
+  "CMakeFiles/mtsched_profiling.dir/src/profiler.cpp.o.d"
+  "CMakeFiles/mtsched_profiling.dir/src/regression_builder.cpp.o"
+  "CMakeFiles/mtsched_profiling.dir/src/regression_builder.cpp.o.d"
+  "libmtsched_profiling.a"
+  "libmtsched_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsched_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

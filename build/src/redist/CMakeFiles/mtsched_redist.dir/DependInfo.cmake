@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/redist/src/layout.cpp" "src/redist/CMakeFiles/mtsched_redist.dir/src/layout.cpp.o" "gcc" "src/redist/CMakeFiles/mtsched_redist.dir/src/layout.cpp.o.d"
+  "/root/repo/src/redist/src/plan.cpp" "src/redist/CMakeFiles/mtsched_redist.dir/src/plan.cpp.o" "gcc" "src/redist/CMakeFiles/mtsched_redist.dir/src/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtsched_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

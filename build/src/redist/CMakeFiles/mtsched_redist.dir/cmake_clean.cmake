@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsched_redist.dir/src/layout.cpp.o"
+  "CMakeFiles/mtsched_redist.dir/src/layout.cpp.o.d"
+  "CMakeFiles/mtsched_redist.dir/src/plan.cpp.o"
+  "CMakeFiles/mtsched_redist.dir/src/plan.cpp.o.d"
+  "libmtsched_redist.a"
+  "libmtsched_redist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsched_redist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/src/allocation.cpp" "src/sched/CMakeFiles/mtsched_sched.dir/src/allocation.cpp.o" "gcc" "src/sched/CMakeFiles/mtsched_sched.dir/src/allocation.cpp.o.d"
+  "/root/repo/src/sched/src/hetero.cpp" "src/sched/CMakeFiles/mtsched_sched.dir/src/hetero.cpp.o" "gcc" "src/sched/CMakeFiles/mtsched_sched.dir/src/hetero.cpp.o.d"
+  "/root/repo/src/sched/src/mapping.cpp" "src/sched/CMakeFiles/mtsched_sched.dir/src/mapping.cpp.o" "gcc" "src/sched/CMakeFiles/mtsched_sched.dir/src/mapping.cpp.o.d"
+  "/root/repo/src/sched/src/mheft.cpp" "src/sched/CMakeFiles/mtsched_sched.dir/src/mheft.cpp.o" "gcc" "src/sched/CMakeFiles/mtsched_sched.dir/src/mheft.cpp.o.d"
+  "/root/repo/src/sched/src/schedule.cpp" "src/sched/CMakeFiles/mtsched_sched.dir/src/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/mtsched_sched.dir/src/schedule.cpp.o.d"
+  "/root/repo/src/sched/src/trace.cpp" "src/sched/CMakeFiles/mtsched_sched.dir/src/trace.cpp.o" "gcc" "src/sched/CMakeFiles/mtsched_sched.dir/src/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/mtsched_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/mtsched_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsched_sched.dir/src/allocation.cpp.o"
+  "CMakeFiles/mtsched_sched.dir/src/allocation.cpp.o.d"
+  "CMakeFiles/mtsched_sched.dir/src/hetero.cpp.o"
+  "CMakeFiles/mtsched_sched.dir/src/hetero.cpp.o.d"
+  "CMakeFiles/mtsched_sched.dir/src/mapping.cpp.o"
+  "CMakeFiles/mtsched_sched.dir/src/mapping.cpp.o.d"
+  "CMakeFiles/mtsched_sched.dir/src/mheft.cpp.o"
+  "CMakeFiles/mtsched_sched.dir/src/mheft.cpp.o.d"
+  "CMakeFiles/mtsched_sched.dir/src/schedule.cpp.o"
+  "CMakeFiles/mtsched_sched.dir/src/schedule.cpp.o.d"
+  "CMakeFiles/mtsched_sched.dir/src/trace.cpp.o"
+  "CMakeFiles/mtsched_sched.dir/src/trace.cpp.o.d"
+  "libmtsched_sched.a"
+  "libmtsched_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsched_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsched_sim.dir/src/simulator.cpp.o"
+  "CMakeFiles/mtsched_sim.dir/src/simulator.cpp.o.d"
+  "libmtsched_sim.a"
+  "libmtsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcore/src/cluster_sim.cpp" "src/simcore/CMakeFiles/mtsched_simcore.dir/src/cluster_sim.cpp.o" "gcc" "src/simcore/CMakeFiles/mtsched_simcore.dir/src/cluster_sim.cpp.o.d"
+  "/root/repo/src/simcore/src/engine.cpp" "src/simcore/CMakeFiles/mtsched_simcore.dir/src/engine.cpp.o" "gcc" "src/simcore/CMakeFiles/mtsched_simcore.dir/src/engine.cpp.o.d"
+  "/root/repo/src/simcore/src/fifo.cpp" "src/simcore/CMakeFiles/mtsched_simcore.dir/src/fifo.cpp.o" "gcc" "src/simcore/CMakeFiles/mtsched_simcore.dir/src/fifo.cpp.o.d"
+  "/root/repo/src/simcore/src/maxmin.cpp" "src/simcore/CMakeFiles/mtsched_simcore.dir/src/maxmin.cpp.o" "gcc" "src/simcore/CMakeFiles/mtsched_simcore.dir/src/maxmin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/mtsched_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

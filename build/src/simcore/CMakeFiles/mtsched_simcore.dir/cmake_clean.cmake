@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsched_simcore.dir/src/cluster_sim.cpp.o"
+  "CMakeFiles/mtsched_simcore.dir/src/cluster_sim.cpp.o.d"
+  "CMakeFiles/mtsched_simcore.dir/src/engine.cpp.o"
+  "CMakeFiles/mtsched_simcore.dir/src/engine.cpp.o.d"
+  "CMakeFiles/mtsched_simcore.dir/src/fifo.cpp.o"
+  "CMakeFiles/mtsched_simcore.dir/src/fifo.cpp.o.d"
+  "CMakeFiles/mtsched_simcore.dir/src/maxmin.cpp.o"
+  "CMakeFiles/mtsched_simcore.dir/src/maxmin.cpp.o.d"
+  "libmtsched_simcore.a"
+  "libmtsched_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsched_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

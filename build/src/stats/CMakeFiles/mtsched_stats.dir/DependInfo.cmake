@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/src/ascii.cpp" "src/stats/CMakeFiles/mtsched_stats.dir/src/ascii.cpp.o" "gcc" "src/stats/CMakeFiles/mtsched_stats.dir/src/ascii.cpp.o.d"
+  "/root/repo/src/stats/src/regression.cpp" "src/stats/CMakeFiles/mtsched_stats.dir/src/regression.cpp.o" "gcc" "src/stats/CMakeFiles/mtsched_stats.dir/src/regression.cpp.o.d"
+  "/root/repo/src/stats/src/summary.cpp" "src/stats/CMakeFiles/mtsched_stats.dir/src/summary.cpp.o" "gcc" "src/stats/CMakeFiles/mtsched_stats.dir/src/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtsched_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

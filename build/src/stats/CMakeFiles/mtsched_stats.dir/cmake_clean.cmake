@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsched_stats.dir/src/ascii.cpp.o"
+  "CMakeFiles/mtsched_stats.dir/src/ascii.cpp.o.d"
+  "CMakeFiles/mtsched_stats.dir/src/regression.cpp.o"
+  "CMakeFiles/mtsched_stats.dir/src/regression.cpp.o.d"
+  "CMakeFiles/mtsched_stats.dir/src/summary.cpp.o"
+  "CMakeFiles/mtsched_stats.dir/src/summary.cpp.o.d"
+  "libmtsched_stats.a"
+  "libmtsched_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsched_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

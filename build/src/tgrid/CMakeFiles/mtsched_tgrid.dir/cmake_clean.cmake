@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsched_tgrid.dir/src/emulator.cpp.o"
+  "CMakeFiles/mtsched_tgrid.dir/src/emulator.cpp.o.d"
+  "libmtsched_tgrid.a"
+  "libmtsched_tgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsched_tgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

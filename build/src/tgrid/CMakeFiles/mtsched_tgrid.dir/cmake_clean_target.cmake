@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtsched_tgrid.a"
+)

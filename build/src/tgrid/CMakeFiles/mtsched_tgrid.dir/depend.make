@@ -1,0 +1,2 @@
+# Empty dependencies file for mtsched_tgrid.
+# This may be replaced when dependencies are built.

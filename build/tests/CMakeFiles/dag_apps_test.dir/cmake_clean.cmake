@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_apps_test.dir/dag_apps_test.cpp.o"
+  "CMakeFiles/dag_apps_test.dir/dag_apps_test.cpp.o.d"
+  "dag_apps_test"
+  "dag_apps_test.pdb"
+  "dag_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_daggen_test.dir/dag_daggen_test.cpp.o"
+  "CMakeFiles/dag_daggen_test.dir/dag_daggen_test.cpp.o.d"
+  "dag_daggen_test"
+  "dag_daggen_test.pdb"
+  "dag_daggen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_daggen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_export_test.dir/dag_export_test.cpp.o"
+  "CMakeFiles/dag_export_test.dir/dag_export_test.cpp.o.d"
+  "dag_export_test"
+  "dag_export_test.pdb"
+  "dag_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_generator_test.dir/dag_generator_test.cpp.o"
+  "CMakeFiles/dag_generator_test.dir/dag_generator_test.cpp.o.d"
+  "dag_generator_test"
+  "dag_generator_test.pdb"
+  "dag_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

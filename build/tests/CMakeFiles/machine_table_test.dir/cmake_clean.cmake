@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_table_test.dir/machine_table_test.cpp.o"
+  "CMakeFiles/machine_table_test.dir/machine_table_test.cpp.o.d"
+  "machine_table_test"
+  "machine_table_test.pdb"
+  "machine_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

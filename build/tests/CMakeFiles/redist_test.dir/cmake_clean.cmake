@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redist_test.dir/redist_test.cpp.o"
+  "CMakeFiles/redist_test.dir/redist_test.cpp.o.d"
+  "redist_test"
+  "redist_test.pdb"
+  "redist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_allocation_test.dir/sched_allocation_test.cpp.o"
+  "CMakeFiles/sched_allocation_test.dir/sched_allocation_test.cpp.o.d"
+  "sched_allocation_test"
+  "sched_allocation_test.pdb"
+  "sched_allocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_allocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_redist_aware_test.dir/sched_redist_aware_test.cpp.o"
+  "CMakeFiles/sched_redist_aware_test.dir/sched_redist_aware_test.cpp.o.d"
+  "sched_redist_aware_test"
+  "sched_redist_aware_test.pdb"
+  "sched_redist_aware_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_redist_aware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

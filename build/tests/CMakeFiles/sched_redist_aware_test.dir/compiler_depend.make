@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sched_redist_aware_test.
+# This may be replaced when dependencies are built.

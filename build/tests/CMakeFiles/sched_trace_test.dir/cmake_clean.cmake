@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_trace_test.dir/sched_trace_test.cpp.o"
+  "CMakeFiles/sched_trace_test.dir/sched_trace_test.cpp.o.d"
+  "sched_trace_test"
+  "sched_trace_test.pdb"
+  "sched_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_cluster_test.dir/simcore_cluster_test.cpp.o"
+  "CMakeFiles/simcore_cluster_test.dir/simcore_cluster_test.cpp.o.d"
+  "simcore_cluster_test"
+  "simcore_cluster_test.pdb"
+  "simcore_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

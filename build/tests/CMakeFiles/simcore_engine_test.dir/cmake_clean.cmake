@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_engine_test.dir/simcore_engine_test.cpp.o"
+  "CMakeFiles/simcore_engine_test.dir/simcore_engine_test.cpp.o.d"
+  "simcore_engine_test"
+  "simcore_engine_test.pdb"
+  "simcore_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_fifo_test.dir/simcore_fifo_test.cpp.o"
+  "CMakeFiles/simcore_fifo_test.dir/simcore_fifo_test.cpp.o.d"
+  "simcore_fifo_test"
+  "simcore_fifo_test.pdb"
+  "simcore_fifo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_fifo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_ascii_test.dir/stats_ascii_test.cpp.o"
+  "CMakeFiles/stats_ascii_test.dir/stats_ascii_test.cpp.o.d"
+  "stats_ascii_test"
+  "stats_ascii_test.pdb"
+  "stats_ascii_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_ascii_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

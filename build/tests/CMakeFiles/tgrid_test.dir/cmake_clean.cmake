@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgrid_test.dir/tgrid_test.cpp.o"
+  "CMakeFiles/tgrid_test.dir/tgrid_test.cpp.o.d"
+  "tgrid_test"
+  "tgrid_test.pdb"
+  "tgrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

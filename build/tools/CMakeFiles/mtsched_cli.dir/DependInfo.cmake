@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/mtsched_cli.cpp" "tools/CMakeFiles/mtsched_cli.dir/mtsched_cli.cpp.o" "gcc" "tools/CMakeFiles/mtsched_cli.dir/mtsched_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/mtsched_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mtsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/mtsched_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgrid/CMakeFiles/mtsched_tgrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/mtsched_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mtsched_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mtsched_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mtsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/redist/CMakeFiles/mtsched_redist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mtsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/mtsched_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/mtsched_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtsched_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

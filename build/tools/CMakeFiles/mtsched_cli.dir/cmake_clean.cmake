@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsched_cli.dir/mtsched_cli.cpp.o"
+  "CMakeFiles/mtsched_cli.dir/mtsched_cli.cpp.o.d"
+  "mtsched_cli"
+  "mtsched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
