@@ -1,13 +1,14 @@
 // Ablation: EST mapping vs redistribution-aware mapping (the idea of the
 // paper's reference [6], Hunold/Rauber/Suter 2008) across the Table I
 // suite, evaluated with the profile cost model and verified on the
-// emulated cluster.
+// emulated cluster. The two mapping variants are campaign algorithms with
+// seed slot 0: both schedules replay under IDENTICAL cluster weather, so
+// the comparison isolates the mapping decision.
 #include "bench_util.hpp"
 #include "mtsched/core/table.hpp"
 #include "mtsched/models/cost_model.hpp"
 #include "mtsched/sched/allocation.hpp"
 #include "mtsched/sched/mapping.hpp"
-#include "mtsched/sim/simulator.hpp"
 #include "mtsched/stats/summary.hpp"
 
 int main() {
@@ -18,28 +19,26 @@ int main() {
       "(redistribution-aware two-step scheduling)");
 
   exp::Lab lab;
-  const auto suite = dag::generate_table1_suite();
-  const auto& model = lab.profile();
-  const models::SchedCostAdapter cost(model);
-  const sched::HcpaAllocator hcpa;
-  const sim::Simulator simulator(model);
+
+  auto spec = bench::table1_spec(lab, {models::CostModelKind::Profile});
+  auto est = exp::AlgoSpec::allocator(
+      "HCPA", sched::MappingStrategy::EarliestStart, "HCPA/est");
+  est.seed_slot = 0;  // identical weather for both variants
+  auto aware = exp::AlgoSpec::allocator(
+      "HCPA", sched::MappingStrategy::RedistributionAware, "HCPA/aware");
+  aware.seed_slot = 0;
+  spec.algorithms = {est, aware};
+  const auto campaign = bench::run_campaign(lab, spec);
+  const auto result = campaign.case_study("profile", "HCPA/est", "HCPA/aware",
+                                          bench::kSuiteSeed, bench::kExpSeed);
 
   std::vector<double> gain_sim, gain_exp;
   int aware_wins_exp = 0;
-  for (const auto& inst : suite) {
-    const auto alloc = hcpa.allocate(inst.graph, cost, lab.spec().num_nodes);
-    const auto est = sched::ListMapper(sched::MappingStrategy::EarliestStart)
-                         .map(inst.graph, alloc, cost, lab.spec().num_nodes);
-    const auto aware =
-        sched::ListMapper(sched::MappingStrategy::RedistributionAware)
-            .map(inst.graph, alloc, cost, lab.spec().num_nodes);
-
-    const double sim_est = simulator.makespan(inst.graph, est);
-    const double sim_aware = simulator.makespan(inst.graph, aware);
-    const double exp_est =
-        lab.rig().makespan(inst.graph, est, bench::kExpSeed);
-    const double exp_aware =
-        lab.rig().makespan(inst.graph, aware, bench::kExpSeed);
+  for (const auto& o : result.outcomes) {
+    const double sim_est = o.first.makespan_sim;
+    const double sim_aware = o.second.makespan_sim;
+    const double exp_est = o.first.makespan_exp;
+    const double exp_aware = o.second.makespan_exp;
     gain_sim.push_back((sim_est - sim_aware) / sim_est * 100.0);
     gain_exp.push_back((exp_est - exp_aware) / exp_est * 100.0);
     if (exp_aware < exp_est) ++aware_wins_exp;
@@ -55,7 +54,7 @@ int main() {
   t.add_row({"worst gain %", core::fmt(gs.min, 2), core::fmt(ge.min, 2)});
   std::cout << t.render() << '\n';
   std::cout << "redistribution-aware wins the experiment on "
-            << aware_wins_exp << "/" << suite.size() << " DAGs\n";
+            << aware_wins_exp << "/" << result.outcomes.size() << " DAGs\n";
   std::cout
       << "\nHonest negative result, very much in the paper's spirit: on\n"
       << "THIS platform locality loses. Reusing a predecessor's processors\n"

@@ -4,36 +4,22 @@
 // simulator's errors: (a) unmodelled task execution behaviour, (b) task
 // startup overhead, (c) redistribution protocol overhead. This bench
 // starts from the full profile-based model and removes one term at a
-// time, reporting the error and verdict-flip impact of each.
+// time, reporting the error and verdict-flip impact of each. All five
+// model variants run as one campaign (custom models plug into the sweep
+// as labelled ModelRefs).
 #include "bench_util.hpp"
 #include "mtsched/core/table.hpp"
 #include "mtsched/models/analytical.hpp"
 #include "mtsched/models/profile.hpp"
 #include "mtsched/stats/summary.hpp"
 
-namespace {
-
-using namespace mtsched;
-
-exp::CaseStudyResult run(const models::CostModel& model,
-                         const tgrid::TGridEmulator& rig,
-                         const std::vector<dag::GeneratedDag>& suite,
-                         const std::string& label) {
-  const exp::CaseStudy study(model, rig);
-  auto r = study.run_suite(suite, bench::kExpSeed);
-  r.model_name = label;
-  return r;
-}
-
-}  // namespace
-
 int main() {
+  using namespace mtsched;
   bench::banner(
       "Ablation — contribution of each refined model term",
       "Hunold/Casanova/Suter 2011, Section V-C culprits (a)/(b)/(c)");
 
   exp::Lab lab;
-  const auto suite = dag::generate_table1_suite();
   const auto& full_tables = lab.profile().tables();
   const auto& spec = lab.spec();
 
@@ -61,14 +47,19 @@ int main() {
   }
   const models::ProfileModel m_analytic_exec(spec, analytic_exec);
 
+  auto campaign_spec = bench::table1_spec(lab, {});
+  campaign_spec.models = {{"full profile", &lab.profile()},
+                          {"- startup", &m_no_startup},
+                          {"- redist overhead", &m_no_redist},
+                          {"- measured exec", &m_analytic_exec},
+                          {"analytical (none)", &lab.analytical()}};
+  const auto campaign = bench::run_campaign(lab, campaign_spec);
+
   std::vector<exp::CaseStudyResult> results;
-  results.push_back(run(lab.profile(), lab.rig(), suite, "full profile"));
-  results.push_back(run(m_no_startup, lab.rig(), suite, "- startup"));
-  results.push_back(run(m_no_redist, lab.rig(), suite, "- redist overhead"));
-  results.push_back(
-      run(m_analytic_exec, lab.rig(), suite, "- measured exec"));
-  results.push_back(
-      run(lab.analytical(), lab.rig(), suite, "analytical (none)"));
+  for (const auto& model : campaign_spec.models) {
+    results.push_back(campaign.case_study(model.label, "HCPA", "MCPA",
+                                          bench::kSuiteSeed, bench::kExpSeed));
+  }
 
   core::TextTable t;
   t.set_header({"model variant", "mean err % (HCPA)", "mean err % (MCPA)",

@@ -1,11 +1,20 @@
 // Shared helpers for the figure/table reproduction binaries.
+//
+// Since the campaign runner landed, every suite-running bench is a thin
+// renderer: it declares a CampaignSpec, lets exp::Campaign execute it (in
+// parallel, with the shared schedule cache), and pivots the records into
+// the paper's figures. Figures go to stdout; campaign metrics go to
+// stderr so piped output stays clean.
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "mtsched/core/thread_pool.hpp"
 #include "mtsched/dag/generator.hpp"
+#include "mtsched/exp/campaign.hpp"
 #include "mtsched/exp/case_study.hpp"
 #include "mtsched/exp/lab.hpp"
 #include "mtsched/exp/report.hpp"
@@ -16,6 +25,9 @@ namespace bench {
 /// see the same weather.
 inline constexpr std::uint64_t kExpSeed = 42;
 
+/// Default suite seed (the paper's Table I grid).
+inline constexpr std::uint64_t kSuiteSeed = 2011;
+
 inline void banner(const std::string& title, const std::string& paper_ref) {
   std::cout << std::string(74, '=') << '\n'
             << title << '\n'
@@ -23,14 +35,44 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
             << std::string(74, '=') << "\n\n";
 }
 
-/// Runs one model's case study over the 54-DAG Table I suite and prints
-/// the paper-style relative-makespan figure for one matrix dimension.
+/// Worker threads for bench campaigns: MTSCHED_BENCH_THREADS when set,
+/// otherwise the hardware concurrency.
+inline int bench_threads() {
+  if (const char* env = std::getenv("MTSCHED_BENCH_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return mtsched::core::ThreadPool::recommended_threads();
+}
+
+/// The paper's standard campaign: Table I suite, HCPA vs MCPA, seed 42 —
+/// only the models under study vary per figure.
+inline mtsched::exp::CampaignSpec table1_spec(
+    const mtsched::exp::Lab& lab,
+    const std::vector<mtsched::models::CostModelKind>& kinds) {
+  mtsched::exp::CampaignSpec spec;
+  spec.models = mtsched::exp::lab_models(lab, kinds);
+  spec.exp_seeds = {kExpSeed};
+  spec.threads = bench_threads();
+  return spec;  // suites/algorithms use the documented defaults
+}
+
+/// Runs `spec` and reports the campaign metrics on stderr.
+inline mtsched::exp::CampaignResult run_campaign(
+    const mtsched::exp::Lab& lab, const mtsched::exp::CampaignSpec& spec) {
+  const auto result = mtsched::exp::Campaign(lab.rig()).run(spec);
+  std::cerr << result.metrics.describe();
+  return result;
+}
+
+/// Runs one model's slice of the standard campaign and prints the
+/// paper-style relative-makespan figure for one matrix dimension.
 inline mtsched::exp::CaseStudyResult run_and_render(
     const mtsched::exp::Lab& lab, mtsched::models::CostModelKind kind,
     int matrix_dim, const std::string& figure_title) {
-  const auto suite = mtsched::dag::generate_table1_suite();
-  const mtsched::exp::CaseStudy study(lab.model(kind), lab.rig());
-  auto result = study.run_suite(suite, kExpSeed);
+  const auto campaign = run_campaign(lab, table1_spec(lab, {kind}));
+  auto result = campaign.case_study(mtsched::models::kind_name(kind), "HCPA",
+                                    "MCPA", kSuiteSeed, kExpSeed);
   const auto subset = result.with_dim(matrix_dim);
   std::cout << mtsched::exp::render_relative_makespan_figure(subset,
                                                              figure_title)

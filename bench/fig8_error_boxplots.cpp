@@ -15,13 +15,15 @@ int main() {
                 "MCPA)");
 
   exp::Lab lab;
-  const auto suite = dag::generate_table1_suite();
+  // One campaign covers all three simulator versions at once.
+  const auto campaign = bench::run_campaign(
+      lab, bench::table1_spec(lab, {models::CostModelKind::Analytical,
+                                    models::CostModelKind::Profile,
+                                    models::CostModelKind::Empirical}));
   std::vector<exp::CaseStudyResult> results;
-  for (auto kind :
-       {models::CostModelKind::Analytical, models::CostModelKind::Profile,
-        models::CostModelKind::Empirical}) {
-    const exp::CaseStudy study(lab.model(kind), lab.rig());
-    results.push_back(study.run_suite(suite, bench::kExpSeed));
+  for (const char* model : {"analytical", "profile", "empirical"}) {
+    results.push_back(campaign.case_study(model, "HCPA", "MCPA",
+                                          bench::kSuiteSeed, bench::kExpSeed));
   }
 
   std::cout << exp::render_error_boxplots(results) << '\n';

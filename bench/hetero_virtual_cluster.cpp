@@ -10,7 +10,9 @@
 //   * virtual cluster: allocate on floor(total/reference) virtual
 //     processors, translate each allocation to physical nodes with enough
 //     *discounted* aggregate speed, preferring similar-speed groups.
-// Both schedules then run on the emulated heterogeneous cluster.
+// Both schedules then run on the emulated heterogeneous cluster; each
+// skew level is one campaign whose two "algorithms" are the custom
+// mapping pipelines (seed slot 0: identical weather for both).
 #include "bench_util.hpp"
 #include "mtsched/core/table.hpp"
 #include "mtsched/machine/java_cluster.hpp"
@@ -30,6 +32,13 @@ int main() {
   machine::JavaClusterConfig mcfg;  // reference machine behaviour
   const machine::JavaClusterModel machine_model(mcfg);
 
+  // Every third Table I instance (one sample per parameter combination).
+  exp::SuiteSpec sampled;
+  sampled.seed = bench::kSuiteSeed;
+  for (std::size_t i = 0; i < suite.size(); i += 3) {
+    sampled.dags.push_back(suite[i]);
+  }
+
   core::TextTable t;
   t.set_header({"skew (max/min)", "blind mean [s]", "virtual mean [s]",
                 "mean gain %", "virtual wins"});
@@ -47,26 +56,48 @@ int main() {
     }
     const tgrid::TGridEmulator rig(machine_model, spec);
     const models::AnalyticalModel model(spec);
-    const models::SchedCostAdapter cost(model);
     const sched::HcpaAllocator hcpa;
     const sched::VirtualCluster vc(spec);
     const sched::HeteroListMapper hetero_mapper(spec);
 
+    exp::CampaignSpec cspec;
+    cspec.suites = {sampled};
+    cspec.models = {{"analytical", &model}};
+    cspec.exp_seeds = {bench::kExpSeed};
+    cspec.threads = bench::bench_threads();
+
+    exp::AlgoSpec blind;
+    blind.label = "blind";
+    blind.seed_slot = 0;
+    blind.schedule = [&hcpa](const dag::Dag& g,
+                             const models::CostModel& m, int P) {
+      const models::SchedCostAdapter cost(m);
+      const auto alloc = hcpa.allocate(g, cost, P);
+      return sched::ListMapper{}.map(g, alloc, cost, P);
+    };
+    exp::AlgoSpec virt;
+    virt.label = "virtual";
+    virt.seed_slot = 0;
+    virt.schedule = [&hcpa, &vc, &hetero_mapper](
+                        const dag::Dag& g, const models::CostModel& m,
+                        int /*P*/) {
+      const models::SchedCostAdapter cost(m);
+      const auto valloc = hcpa.allocate(g, cost, vc.virtual_procs());
+      return hetero_mapper.map(g, valloc, cost);
+    };
+    cspec.algorithms = {blind, virt};
+
+    const auto campaign = exp::Campaign(rig).run(cspec);
+    std::cerr << campaign.metrics.describe();
+    const auto result = campaign.case_study("analytical", "blind", "virtual",
+                                            bench::kSuiteSeed,
+                                            bench::kExpSeed);
+
     std::vector<double> blind_mk, virt_mk, gains;
     int virt_wins = 0;
-    for (std::size_t i = 0; i < suite.size(); i += 3) {
-      const auto& inst = suite[i];
-      // Speed-blind: P = node count, plain EST mapping.
-      const auto blind_alloc = hcpa.allocate(inst.graph, cost, spec.num_nodes);
-      const auto blind = sched::ListMapper{}.map(inst.graph, blind_alloc,
-                                                 cost, spec.num_nodes);
-      // Virtual cluster: allocate on virtual procs, translate.
-      const auto valloc =
-          hcpa.allocate(inst.graph, cost, vc.virtual_procs());
-      const auto virt = hetero_mapper.map(inst.graph, valloc, cost);
-
-      const double mb = rig.makespan(inst.graph, blind, bench::kExpSeed);
-      const double mv = rig.makespan(inst.graph, virt, bench::kExpSeed);
+    for (const auto& o : result.outcomes) {
+      const double mb = o.first.makespan_exp;
+      const double mv = o.second.makespan_exp;
       blind_mk.push_back(mb);
       virt_mk.push_back(mv);
       gains.push_back((mb - mv) / mb * 100.0);

@@ -1,0 +1,71 @@
+// A small fixed-size worker pool for embarrassingly parallel experiment
+// jobs.
+//
+// Design constraints (set by the campaign runner, the main consumer):
+//   * deterministic results: the pool only runs closures; callers that
+//     need ordered output write into preallocated slots indexed by job id,
+//     so scheduling order never leaks into results;
+//   * exception safety: the first exception thrown by any task is captured
+//     and rethrown from wait_idle() on the calling thread — workers never
+//     terminate the process;
+//   * no oversubscription surprises: `recommended_threads()` is the
+//     hardware concurrency clamped to [1, 64] so callers get a sane
+//     default on exotic machines.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mtsched::core {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped below by 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding work (without rethrowing) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Tasks may not submit further tasks.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task raised (if one did). The pool stays usable
+  /// after wait_idle(); a pending exception is cleared once rethrown.
+  void wait_idle();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a [1, 64] clamp and a fallback
+  /// of 1 when the hardware cannot be queried.
+  static int recommended_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing tasks
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+/// Runs `fn(i)` for every i in [0, n) on the pool and waits for all of
+/// them (rethrowing the first task exception). `fn` must be safe to call
+/// concurrently from multiple workers.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace mtsched::core

@@ -1,0 +1,85 @@
+#include "mtsched/core/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::core {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MTSCHED_REQUIRE(task != nullptr, "cannot submit an empty task");
+  {
+    std::unique_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    auto err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+int ThreadPool::recommended_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return static_cast<int>(std::min(hw, 64u));
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace mtsched::core

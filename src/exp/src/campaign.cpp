@@ -1,0 +1,336 @@
+#include "mtsched/exp/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/core/rng.hpp"
+#include "mtsched/core/thread_pool.hpp"
+#include "mtsched/sched/allocation.hpp"
+#include "mtsched/sim/simulator.hpp"
+
+namespace mtsched::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The memoized, experiment-seed-independent half of a job.
+struct ScheduleMemo {
+  sched::Schedule schedule;
+  double makespan_sim = 0.0;
+};
+
+}  // namespace
+
+ModelRef lab_model(const Lab& lab, models::CostModelKind kind) {
+  return ModelRef{models::kind_name(kind), &lab.model(kind)};
+}
+
+std::vector<ModelRef> lab_models(
+    const Lab& lab, const std::vector<models::CostModelKind>& kinds) {
+  std::vector<ModelRef> out;
+  out.reserve(kinds.size());
+  for (const auto kind : kinds) out.push_back(lab_model(lab, kind));
+  return out;
+}
+
+AlgoSpec AlgoSpec::allocator(const std::string& name,
+                             sched::MappingStrategy strategy,
+                             std::string label) {
+  // make_allocator validates the name eagerly so a typo fails at spec
+  // construction, not inside a pool worker.
+  std::shared_ptr<const sched::Allocator> alloc = sched::make_allocator(name);
+  AlgoSpec spec;
+  spec.label = label.empty() ? name : std::move(label);
+  spec.schedule = [alloc, strategy](const dag::Dag& g,
+                                    const models::CostModel& model, int P) {
+    const models::SchedCostAdapter cost(model);
+    const auto sizes = alloc->allocate(g, cost, P);
+    return sched::ListMapper(strategy).map(g, sizes, cost, P);
+  };
+  return spec;
+}
+
+SuiteSpec SuiteSpec::table1(std::uint64_t base_seed) {
+  return SuiteSpec{base_seed, dag::generate_table1_suite(base_seed)};
+}
+
+double RunRecord::sim_error_percent() const {
+  MTSCHED_REQUIRE(makespan_sim > 0.0, "simulated makespan must be positive");
+  return std::abs(makespan_exp - makespan_sim) / makespan_sim * 100.0;
+}
+
+std::string CampaignMetrics::describe() const {
+  std::ostringstream os;
+  os << "campaign: " << jobs << " jobs on " << threads << " thread"
+     << (threads == 1 ? "" : "s") << "; schedule cache " << cache_hits
+     << " hits / " << cache_misses << " misses\n";
+  os << "  expand " << expand_seconds << " s, run " << run_seconds
+     << " s wall";
+  if (run_seconds > 0.0) {
+    os << " (" << static_cast<double>(jobs) / run_seconds << " jobs/s)";
+  }
+  os << "\n  worker time: schedule+simulate " << schedule_seconds
+     << " s, emulated execution " << execute_seconds << " s\n";
+  return os.str();
+}
+
+std::vector<const RunRecord*> CampaignResult::slice(
+    const std::string& model_label, std::uint64_t suite_seed,
+    std::uint64_t exp_seed) const {
+  std::vector<const RunRecord*> out;
+  for (const auto& r : records) {
+    if (r.model == model_label && r.suite_seed == suite_seed &&
+        r.exp_seed == exp_seed) {
+      out.push_back(&r);
+    }
+  }
+  return out;
+}
+
+CaseStudyResult CampaignResult::case_study(const std::string& model_label,
+                                           const std::string& first_algo,
+                                           const std::string& second_algo,
+                                           std::uint64_t suite_seed,
+                                           std::uint64_t exp_seed) const {
+  // Group the slice per DAG, keeping suite order (records are already in
+  // expansion order, so the first sighting of a DAG fixes its position).
+  std::vector<std::string> dag_order;
+  std::map<std::string, std::pair<const RunRecord*, const RunRecord*>> by_dag;
+  for (const auto* r : slice(model_label, suite_seed, exp_seed)) {
+    const bool is_first = r->algorithm == first_algo;
+    const bool is_second = r->algorithm == second_algo;
+    if (!is_first && !is_second) continue;
+    auto [it, inserted] = by_dag.try_emplace(r->dag, nullptr, nullptr);
+    if (inserted) dag_order.push_back(r->dag);
+    (is_first ? it->second.first : it->second.second) = r;
+  }
+  MTSCHED_REQUIRE(!dag_order.empty(),
+                  "campaign has no records for model '" + model_label +
+                      "', suite seed " + std::to_string(suite_seed) +
+                      ", exp seed " + std::to_string(exp_seed));
+
+  CaseStudyResult result;
+  result.model_name = model_label;
+  result.outcomes.reserve(dag_order.size());
+  for (const auto& dag_name : dag_order) {
+    const auto& [first, second] = by_dag.at(dag_name);
+    MTSCHED_REQUIRE(first != nullptr && second != nullptr,
+                    "DAG '" + dag_name + "' is missing algorithm '" +
+                        (first ? second_algo : first_algo) +
+                        "' in this campaign slice");
+    DagOutcome o;
+    o.dag_name = dag_name;
+    o.matrix_dim = first->matrix_dim;
+    o.first = AlgoOutcome{first->algorithm, first->allocation,
+                          first->makespan_sim, first->makespan_exp};
+    o.second = AlgoOutcome{second->algorithm, second->allocation,
+                           second->makespan_sim, second->makespan_exp};
+    result.outcomes.push_back(std::move(o));
+  }
+  return result;
+}
+
+Campaign::Campaign(const tgrid::TGridEmulator& rig) : rig_(rig) {}
+
+CampaignResult Campaign::run(const CampaignSpec& spec,
+                             const ProgressFn& progress) const {
+  const auto expand_start = Clock::now();
+
+  // Resolve defaults without copying user-provided suites.
+  std::vector<SuiteSpec> default_suites;
+  const std::vector<SuiteSpec>* suites = &spec.suites;
+  if (suites->empty()) {
+    default_suites.push_back(SuiteSpec::table1());
+    suites = &default_suites;
+  }
+  std::vector<AlgoSpec> default_algos;
+  const std::vector<AlgoSpec>* algos = &spec.algorithms;
+  if (algos->empty()) {
+    default_algos.push_back(AlgoSpec::allocator("HCPA"));
+    default_algos.push_back(AlgoSpec::allocator("MCPA"));
+    algos = &default_algos;
+  }
+
+  MTSCHED_REQUIRE(!spec.models.empty(), "campaign needs at least one model");
+  MTSCHED_REQUIRE(!spec.exp_seeds.empty(),
+                  "campaign needs at least one experiment seed");
+  const int P = rig_.spec().num_nodes;
+  {
+    std::set<std::string> labels;
+    for (const auto& m : spec.models) {
+      MTSCHED_REQUIRE(m.model != nullptr,
+                      "model '" + m.label + "' has a null pointer");
+      MTSCHED_REQUIRE(m.model->spec().num_nodes == P,
+                      "model '" + m.label +
+                          "' lives on a platform of different size than "
+                          "the experiment rig");
+      MTSCHED_REQUIRE(labels.insert(m.label).second,
+                      "duplicate model label '" + m.label + "'");
+    }
+    labels.clear();
+    for (const auto& a : *algos) {
+      MTSCHED_REQUIRE(a.schedule != nullptr,
+                      "algorithm '" + a.label + "' has no schedule function");
+      MTSCHED_REQUIRE(labels.insert(a.label).second,
+                      "duplicate algorithm label '" + a.label + "'");
+    }
+  }
+
+  // Expansion: one job per (suite, dag, model, exp seed, algorithm) cell,
+  // dims filter applied. Records are fully pre-labelled here; jobs only
+  // fill in the computed fields.
+  struct Job {
+    const dag::GeneratedDag* dag = nullptr;
+    const models::CostModel* model = nullptr;
+    const ScheduleFn* schedule = nullptr;
+    std::uint64_t run_seed = 0;
+    std::size_t memo_key = 0;
+    std::size_t record_idx = 0;
+  };
+
+  CampaignResult result;
+  std::vector<Job> jobs;
+  const std::size_t n_models = spec.models.size();
+  const std::size_t n_algos = algos->size();
+  std::size_t suite_base = 0;  // global dag index offset of the suite
+  for (std::size_t si = 0; si < suites->size(); ++si) {
+    const auto& suite = (*suites)[si];
+    for (std::size_t di = 0; di < suite.dags.size(); ++di) {
+      const auto& inst = suite.dags[di];
+      if (!spec.dims.empty() &&
+          std::find(spec.dims.begin(), spec.dims.end(),
+                    inst.params.matrix_dim) == spec.dims.end()) {
+        continue;
+      }
+      for (std::size_t mi = 0; mi < n_models; ++mi) {
+        for (const auto exp_seed : spec.exp_seeds) {
+          for (std::size_t ai = 0; ai < n_algos; ++ai) {
+            const auto& algo = (*algos)[ai];
+            const int slot =
+                algo.seed_slot >= 0 ? algo.seed_slot : static_cast<int>(ai) + 1;
+            RunRecord rec;
+            rec.suite_seed = suite.seed;
+            rec.dag = inst.name;
+            rec.matrix_dim = inst.params.matrix_dim;
+            rec.model = spec.models[mi].label;
+            rec.algorithm = algo.label;
+            rec.exp_seed = exp_seed;
+            rec.run_seed =
+                slot == 0 ? exp_seed
+                          : core::hash_mix(exp_seed,
+                                           static_cast<std::uint64_t>(slot),
+                                           inst.params.seed);
+            Job job;
+            job.dag = &inst;
+            job.model = spec.models[mi].model;
+            job.schedule = &algo.schedule;
+            job.run_seed = rec.run_seed;
+            job.memo_key =
+                ((suite_base + di) * n_models + mi) * n_algos + ai;
+            job.record_idx = result.records.size();
+            result.records.push_back(std::move(rec));
+            jobs.push_back(job);
+          }
+        }
+      }
+    }
+    suite_base += suite.dags.size();
+  }
+
+  result.metrics.jobs = jobs.size();
+  result.metrics.threads = std::max(1, spec.threads);
+  result.metrics.expand_seconds = seconds_since(expand_start);
+
+  // Parallel stage. The memo cache is shared: the first job of a
+  // (suite, dag, model, algorithm) cell computes the schedule and the
+  // simulated makespan behind a shared_future; later jobs (other
+  // experiment seeds) reuse it and only run the emulator.
+  const auto run_start = Clock::now();
+  std::mutex state_mutex;  // cache map, metric accumulation, progress
+  std::unordered_map<std::size_t,
+                     std::shared_future<std::shared_ptr<const ScheduleMemo>>>
+      cache;
+  std::size_t jobs_done = 0;
+
+  const auto run_job = [&](std::size_t i) {
+    const Job& job = jobs[i];
+    std::promise<std::shared_ptr<const ScheduleMemo>> fill;
+    std::shared_future<std::shared_ptr<const ScheduleMemo>> memo_future;
+    bool compute = false;
+    {
+      std::unique_lock lock(state_mutex);
+      const auto it = cache.find(job.memo_key);
+      if (it != cache.end()) {
+        memo_future = it->second;
+        ++result.metrics.cache_hits;
+      } else {
+        memo_future = fill.get_future().share();
+        cache.emplace(job.memo_key, memo_future);
+        ++result.metrics.cache_misses;
+        compute = true;
+      }
+    }
+
+    double schedule_seconds = 0.0;
+    if (compute) {
+      const auto t0 = Clock::now();
+      try {
+        auto memo = std::make_shared<ScheduleMemo>();
+        memo->schedule = (*job.schedule)(job.dag->graph, *job.model, P);
+        memo->makespan_sim =
+            sim::Simulator(*job.model).makespan(job.dag->graph, memo->schedule);
+        fill.set_value(std::move(memo));
+      } catch (...) {
+        fill.set_exception(std::current_exception());
+      }
+      schedule_seconds = seconds_since(t0);
+    }
+
+    const auto memo = memo_future.get();  // rethrows schedule failures
+    const auto t1 = Clock::now();
+    const double makespan_exp =
+        rig_.makespan(job.dag->graph, memo->schedule, job.run_seed);
+    const double execute_seconds = seconds_since(t1);
+
+    RunRecord& rec = result.records[job.record_idx];
+    rec.allocation = memo->schedule.allocation();
+    rec.makespan_sim = memo->makespan_sim;
+    rec.makespan_exp = makespan_exp;
+
+    {
+      std::unique_lock lock(state_mutex);
+      result.metrics.schedule_seconds += schedule_seconds;
+      result.metrics.execute_seconds += execute_seconds;
+      ++jobs_done;
+      if (progress) {
+        CampaignProgress snapshot;
+        snapshot.jobs_done = jobs_done;
+        snapshot.jobs_total = jobs.size();
+        snapshot.cache_hits = result.metrics.cache_hits;
+        snapshot.elapsed_seconds = seconds_since(run_start);
+        progress(snapshot);
+      }
+    }
+  };
+
+  core::ThreadPool pool(result.metrics.threads);
+  core::parallel_for(pool, jobs.size(), run_job);
+
+  result.metrics.run_seconds = seconds_since(run_start);
+  return result;
+}
+
+}  // namespace mtsched::exp

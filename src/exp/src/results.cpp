@@ -1,0 +1,201 @@
+#include "mtsched/exp/results.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::exp {
+
+namespace {
+
+/// Shortest decimal that round-trips the double (std::to_chars default).
+/// Deterministic: equal doubles always render to the same bytes, which is
+/// what makes the JSON/CSV writers thread-count-independent.
+std::string fmt_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  MTSCHED_INVARIANT(res.ec == std::errc(), "to_chars failed on a double");
+  return std::string(buf, res.ptr);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+template <typename T, typename Fn>
+void write_json_array(std::ostringstream& os, const std::vector<T>& xs,
+                      const Fn& one) {
+  os << '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) os << ',';
+    one(xs[i]);
+  }
+  os << ']';
+}
+
+std::string join_allocation(const std::vector<int>& alloc) {
+  std::string s;
+  for (std::size_t i = 0; i < alloc.size(); ++i) {
+    if (i) s += '|';
+    s += std::to_string(alloc[i]);
+  }
+  return s;
+}
+
+std::vector<std::string> split_line(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(line);
+  while (std::getline(is, item, sep)) out.push_back(item);
+  // std::getline drops a trailing empty field; the campaign CSV never has
+  // empty trailing fields, so this is fine.
+  return out;
+}
+
+double parse_double_field(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument("junk");
+    return v;
+  } catch (const std::exception&) {
+    throw core::ParseError(std::string("campaign CSV: bad ") + what + " '" +
+                           s + "'");
+  }
+}
+
+std::uint64_t parse_u64_field(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument("junk");
+    return v;
+  } catch (const std::exception&) {
+    throw core::ParseError(std::string("campaign CSV: bad ") + what + " '" +
+                           s + "'");
+  }
+}
+
+constexpr const char* kCsvHeader =
+    "suite_seed,dag,dim,model,algorithm,exp_seed,run_seed,allocation,"
+    "makespan_sim,makespan_exp,sim_error_percent";
+
+}  // namespace
+
+std::string to_json(const CampaignSpec& spec, const CampaignResult& result) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"mtsched.campaign.v1\",\n  \"spec\": {\n";
+
+  // Empty spec fields mean "the documented default"; echo what actually ran.
+  os << "    \"suite_seeds\": ";
+  if (spec.suites.empty()) {
+    os << "[2011]";
+  } else {
+    write_json_array(os, spec.suites,
+                     [&](const SuiteSpec& s) { os << s.seed; });
+  }
+  os << ",\n    \"algorithms\": ";
+  if (spec.algorithms.empty()) {
+    os << "[\"HCPA\",\"MCPA\"]";
+  } else {
+    write_json_array(os, spec.algorithms, [&](const AlgoSpec& a) {
+      os << '"' << json_escape(a.label) << '"';
+    });
+  }
+  os << ",\n    \"models\": ";
+  write_json_array(os, spec.models, [&](const ModelRef& m) {
+    os << '"' << json_escape(m.label) << '"';
+  });
+  os << ",\n    \"dims\": ";
+  write_json_array(os, spec.dims, [&](int d) { os << d; });
+  os << ",\n    \"exp_seeds\": ";
+  write_json_array(os, spec.exp_seeds, [&](std::uint64_t s) { os << s; });
+  os << "\n  },\n";
+
+  os << "  \"jobs\": " << result.metrics.jobs << ",\n";
+  os << "  \"cache\": {\"hits\": " << result.metrics.cache_hits
+     << ", \"misses\": " << result.metrics.cache_misses << "},\n";
+
+  os << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const RunRecord& r = result.records[i];
+    os << "    {\"suite_seed\": " << r.suite_seed << ", \"dag\": \""
+       << json_escape(r.dag) << "\", \"dim\": " << r.matrix_dim
+       << ", \"model\": \"" << json_escape(r.model) << "\", \"algorithm\": \""
+       << json_escape(r.algorithm) << "\", \"exp_seed\": " << r.exp_seed
+       << ", \"run_seed\": " << r.run_seed << ", \"allocation\": ";
+    write_json_array(os, r.allocation, [&](int p) { os << p; });
+    os << ", \"makespan_sim\": " << fmt_double(r.makespan_sim)
+       << ", \"makespan_exp\": " << fmt_double(r.makespan_exp)
+       << ", \"sim_error_percent\": " << fmt_double(r.sim_error_percent())
+       << '}';
+    if (i + 1 < result.records.size()) os << ',';
+    os << '\n';
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+std::string to_csv(const std::vector<RunRecord>& records) {
+  std::ostringstream os;
+  os << kCsvHeader << '\n';
+  for (const RunRecord& r : records) {
+    os << r.suite_seed << ',' << r.dag << ',' << r.matrix_dim << ','
+       << r.model << ',' << r.algorithm << ',' << r.exp_seed << ','
+       << r.run_seed << ',' << join_allocation(r.allocation) << ','
+       << fmt_double(r.makespan_sim) << ',' << fmt_double(r.makespan_exp)
+       << ',' << fmt_double(r.sim_error_percent()) << '\n';
+  }
+  return os.str();
+}
+
+std::vector<RunRecord> parse_campaign_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line) || line != kCsvHeader) {
+    throw core::ParseError(
+        "campaign CSV: missing or unexpected header line");
+  }
+  std::vector<RunRecord> out;
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto fields = split_line(line, ',');
+    if (fields.size() != 11) {
+      throw core::ParseError("campaign CSV line " + std::to_string(lineno) +
+                             ": expected 11 fields, got " +
+                             std::to_string(fields.size()));
+    }
+    RunRecord r;
+    r.suite_seed = parse_u64_field(fields[0], "suite_seed");
+    r.dag = fields[1];
+    r.matrix_dim = static_cast<int>(parse_u64_field(fields[2], "dim"));
+    r.model = fields[3];
+    r.algorithm = fields[4];
+    r.exp_seed = parse_u64_field(fields[5], "exp_seed");
+    r.run_seed = parse_u64_field(fields[6], "run_seed");
+    for (const auto& p : split_line(fields[7], '|')) {
+      r.allocation.push_back(
+          static_cast<int>(parse_u64_field(p, "allocation")));
+    }
+    r.makespan_sim = parse_double_field(fields[8], "makespan_sim");
+    r.makespan_exp = parse_double_field(fields[9], "makespan_exp");
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace mtsched::exp

@@ -1,0 +1,98 @@
+// Tests for the worker pool behind the campaign runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "mtsched/core/thread_pool.hpp"
+
+namespace {
+
+using namespace mtsched;
+using core::ThreadPool;
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ClampsThreadCountBelowByOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<int> hits(1000, 0);  // disjoint slots: no synchronisation
+  core::parallel_for(pool, hits.size(),
+                     [&hits](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int> survivors{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&survivors, i] {
+      if (i == 7) throw std::runtime_error("task 7 failed");
+      ++survivors;
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(survivors.load(), 19);
+
+  // The error is cleared and the pool stays usable.
+  std::atomic<int> again{0};
+  pool.submit([&again] { ++again; });
+  pool.wait_idle();
+  EXPECT_EQ(again.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, WorkActuallyRunsOffTheCallingThread) {
+  ThreadPool pool(2);
+  std::set<std::thread::id> ids;
+  std::mutex mutex;
+  core::parallel_for(pool, 64, [&](std::size_t) {
+    std::lock_guard lock(mutex);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_FALSE(ids.empty());
+  EXPECT_EQ(ids.count(std::this_thread::get_id()), 0u);
+}
+
+TEST(ThreadPool, RecommendedThreadsIsSane) {
+  const int n = ThreadPool::recommended_threads();
+  EXPECT_GE(n, 1);
+  EXPECT_LE(n, 64);
+}
+
+TEST(ThreadPool, ParallelForZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  core::parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace

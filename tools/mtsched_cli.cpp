@@ -1,35 +1,24 @@
 // mtsched command-line interface.
 //
-//   mtsched_cli gen-dag     [--tasks N] [--width V] [--ratio R] [--dim N]
-//                           [--seed S] [--dot]
-//   mtsched_cli gen-daggen  [--tasks N] [--fat F] [--density D]
-//                           [--regularity R] [--jump J] [--ratio R]
-//                           [--dim N] [--seed S] [--dot]
-//   mtsched_cli schedule    --algo CPA|HCPA|MCPA|SEQ|MAXPAR
-//                           [--model analytical|profile|empirical]
-//                           [--dag FILE] [--machine FILE]
-//   mtsched_cli run         --algo A [--model M] [--dag FILE]
-//                           [--machine FILE] [--exp-seed S] [--gantt]
-//   mtsched_cli case-study  [--dim 2000|3000] [--exp-seed S]
-//                           [--machine FILE]
-//   mtsched_cli export-machine   # dump the built-in cluster as tables
-//
-// DAGs are read from --dag FILE (or stdin when omitted) in the format of
-// `gen-dag`'s output; --machine FILE loads measurement tables (see
-// machine/table_machine.hpp) instead of the built-in behaviour model.
+// Run `mtsched_cli` for the command list and `mtsched_cli <command>
+// --help` for the options of one command — every option is declared with
+// type, default and help text through core::ArgParser.
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <sstream>
 
+#include "mtsched/core/argparse.hpp"
 #include "mtsched/core/table.hpp"
+#include "mtsched/core/thread_pool.hpp"
 #include "mtsched/dag/apps.hpp"
 #include "mtsched/dag/daggen.hpp"
 #include "mtsched/dag/export.hpp"
 #include "mtsched/dag/generator.hpp"
+#include "mtsched/exp/campaign.hpp"
 #include "mtsched/exp/case_study.hpp"
 #include "mtsched/exp/lab.hpp"
 #include "mtsched/exp/report.hpp"
+#include "mtsched/exp/results.hpp"
 #include "mtsched/machine/table_machine.hpp"
 #include "mtsched/sched/allocation.hpp"
 #include "mtsched/sched/mapping.hpp"
@@ -38,53 +27,34 @@
 namespace {
 
 using namespace mtsched;
+using core::ArgParser;
 
-[[noreturn]] void usage(const std::string& error = {}) {
-  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
-  std::cerr <<
-      "usage: mtsched_cli <command> [options]\n"
-      "commands:\n"
-      "  gen-dag        generate a Table I style random DAG\n"
-      "  gen-daggen     generate a DAGGEN-style layered DAG\n"
-      "  gen-strassen   generate a Strassen multiplication DAG\n"
-      "  gen-lu         generate a blocked LU factorization DAG\n"
-      "  schedule       compute a schedule for a DAG\n"
-      "  run            schedule + simulate + execute one DAG\n"
-      "  case-study     the paper's full HCPA-vs-MCPA comparison\n"
-      "  export-machine dump the built-in cluster measurement tables\n"
-      "run 'mtsched_cli <command> --help' semantics: see tool header\n";
-  std::exit(2);
+struct Command {
+  const char* name;
+  const char* summary;
+  int (*run)(int argc, char** argv);
+};
+
+[[noreturn]] void usage(const std::string& error = {});
+
+// --- shared option groups ---------------------------------------------
+
+void add_dag_input(ArgParser& args) {
+  args.add_str("dag", "", "read the DAG from FILE (stdin when omitted)",
+               "FILE");
 }
 
-/// Minimal --key value / --flag parser.
-class Args {
- public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string a = argv[i];
-      if (a.rfind("--", 0) != 0) usage("unexpected argument '" + a + "'");
-      a = a.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        values_[a] = argv[++i];
-      } else {
-        values_[a] = "";
-      }
-    }
-  }
+void add_machine_option(ArgParser& args) {
+  args.add_str("machine", "",
+               "load measurement tables from FILE instead of the built-in "
+               "cluster behaviour model",
+               "FILE");
+}
 
-  std::string str(const std::string& key, const std::string& dflt) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? dflt : it->second;
-  }
-  double num(const std::string& key, double dflt) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? dflt : std::stod(it->second);
-  }
-  bool flag(const std::string& key) const { return values_.count(key) > 0; }
-
- private:
-  std::map<std::string, std::string> values_;
-};
+void add_model_option(ArgParser& args) {
+  args.add_str("model", "profile",
+               "cost model: analytical, profile or empirical", "NAME");
+}
 
 std::string read_all(std::istream& is) {
   std::ostringstream os;
@@ -92,22 +62,24 @@ std::string read_all(std::istream& is) {
   return os.str();
 }
 
-dag::Dag load_dag(const Args& args) {
-  const auto path = args.str("dag", "");
+dag::Dag load_dag(const ArgParser& args) {
+  const auto path = args.str("dag");
   if (path.empty()) {
     std::cerr << "(reading DAG from stdin)\n";
     return dag::from_text(read_all(std::cin));
   }
   std::ifstream f(path);
-  if (!f) usage("cannot open DAG file '" + path + "'");
+  if (!f) throw core::InvalidArgument("cannot open DAG file '" + path + "'");
   return dag::from_text(read_all(f));
 }
 
-std::unique_ptr<exp::Lab> make_lab(const Args& args) {
-  const auto path = args.str("machine", "");
+std::unique_ptr<exp::Lab> make_lab(const ArgParser& args) {
+  const auto path = args.str("machine");
   if (path.empty()) return std::make_unique<exp::Lab>();
   std::ifstream f(path);
-  if (!f) usage("cannot open machine file '" + path + "'");
+  if (!f) {
+    throw core::InvalidArgument("cannot open machine file '" + path + "'");
+  }
   auto tables = machine::parse_machine_tables(read_all(f));
   auto model = std::make_unique<machine::TableMachineModel>(std::move(tables));
   auto spec = platform::bayreuth32();
@@ -118,62 +90,115 @@ std::unique_ptr<exp::Lab> make_lab(const Args& args) {
   return std::make_unique<exp::Lab>(std::move(model), spec, cfg);
 }
 
-models::CostModelKind model_kind(const Args& args) {
-  const auto name = args.str("model", "profile");
+models::CostModelKind model_kind(const std::string& name) {
   if (name == "analytical") return models::CostModelKind::Analytical;
   if (name == "profile") return models::CostModelKind::Profile;
   if (name == "empirical") return models::CostModelKind::Empirical;
-  usage("unknown cost model '" + name + "'");
+  throw core::InvalidArgument(
+      "unknown cost model '" + name +
+      "' (valid: analytical, profile, empirical)");
 }
 
-int cmd_gen_dag(const Args& args) {
+/// Parses, honours --help, and reports errors uniformly. Returns true
+/// when the command should proceed.
+bool parse_or_help(ArgParser& args, int argc, char** argv) {
+  args.parse(argc, argv, 2);
+  if (args.help_requested()) {
+    std::cout << args.help();
+    return false;
+  }
+  return true;
+}
+
+// --- gen-* commands -----------------------------------------------------
+
+int cmd_gen_dag(int argc, char** argv) {
+  ArgParser args("mtsched_cli gen-dag",
+                 "Generate a Table I style random DAG (text to stdout).");
+  args.add_int("tasks", 10, "total number of tasks");
+  args.add_int("width", 4, "number of input matrices (DAG width)");
+  args.add_double("ratio", 0.5, "fraction of addition tasks");
+  args.add_int("dim", 2000, "matrix dimension n");
+  args.add_uint64("seed", 1, "generator seed");
+  args.add_flag("dot", "emit Graphviz DOT instead of the text format");
+  if (!parse_or_help(args, argc, argv)) return 0;
+
   dag::DagGenParams p;
-  p.num_tasks = static_cast<int>(args.num("tasks", 10));
-  p.width = static_cast<int>(args.num("width", 4));
-  p.add_ratio = args.num("ratio", 0.5);
-  p.matrix_dim = static_cast<int>(args.num("dim", 2000));
-  p.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  p.num_tasks = static_cast<int>(args.integer("tasks"));
+  p.width = static_cast<int>(args.integer("width"));
+  p.add_ratio = args.number("ratio");
+  p.matrix_dim = static_cast<int>(args.integer("dim"));
+  p.seed = args.uint64("seed");
   const auto inst = dag::generate_random_dag(p);
   std::cout << (args.flag("dot") ? dag::to_dot(inst.graph, "dag")
                                  : dag::to_text(inst.graph));
   return 0;
 }
 
-int cmd_gen_daggen(const Args& args) {
+int cmd_gen_daggen(int argc, char** argv) {
+  ArgParser args("mtsched_cli gen-daggen",
+                 "Generate a DAGGEN-style layered random DAG.");
+  args.add_int("tasks", 20, "total number of tasks");
+  args.add_double("fat", 0.5, "width of the DAG (0 = chain, 1 = wide)");
+  args.add_double("density", 0.5, "edge density between layers");
+  args.add_double("regularity", 0.5, "regularity of layer sizes");
+  args.add_int("jump", 2, "maximum level distance an edge may span");
+  args.add_double("ratio", 0.5, "fraction of addition tasks");
+  args.add_int("dim", 2000, "matrix dimension n");
+  args.add_uint64("seed", 1, "generator seed");
+  args.add_flag("dot", "emit Graphviz DOT instead of the text format");
+  if (!parse_or_help(args, argc, argv)) return 0;
+
   dag::DaggenParams p;
-  p.num_tasks = static_cast<int>(args.num("tasks", 20));
-  p.fat = args.num("fat", 0.5);
-  p.density = args.num("density", 0.5);
-  p.regularity = args.num("regularity", 0.5);
-  p.jump = static_cast<int>(args.num("jump", 2));
-  p.add_ratio = args.num("ratio", 0.5);
-  p.matrix_dim = static_cast<int>(args.num("dim", 2000));
-  p.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  p.num_tasks = static_cast<int>(args.integer("tasks"));
+  p.fat = args.number("fat");
+  p.density = args.number("density");
+  p.regularity = args.number("regularity");
+  p.jump = static_cast<int>(args.integer("jump"));
+  p.add_ratio = args.number("ratio");
+  p.matrix_dim = static_cast<int>(args.integer("dim"));
+  p.seed = args.uint64("seed");
   const auto g = dag::generate_daggen(p);
   std::cout << (args.flag("dot") ? dag::to_dot(g, "dag") : dag::to_text(g));
   return 0;
 }
 
-int cmd_gen_strassen(const Args& args) {
-  const auto g = dag::strassen_dag(static_cast<int>(args.num("dim", 2000)),
-                                   static_cast<int>(args.num("levels", 1)));
+int cmd_gen_strassen(int argc, char** argv) {
+  ArgParser args("mtsched_cli gen-strassen",
+                 "Generate a Strassen matrix-multiplication DAG.");
+  args.add_int("dim", 2000, "matrix dimension n");
+  args.add_int("levels", 1, "recursion levels");
+  args.add_flag("dot", "emit Graphviz DOT instead of the text format");
+  if (!parse_or_help(args, argc, argv)) return 0;
+
+  const auto g = dag::strassen_dag(static_cast<int>(args.integer("dim")),
+                                   static_cast<int>(args.integer("levels")));
   std::cout << (args.flag("dot") ? dag::to_dot(g, "strassen")
                                  : dag::to_text(g));
   return 0;
 }
 
-int cmd_gen_lu(const Args& args) {
-  const auto g =
-      dag::block_lu_dag(static_cast<int>(args.num("blocks", 4)),
-                        static_cast<int>(args.num("dim", 1000)));
+int cmd_gen_lu(int argc, char** argv) {
+  ArgParser args("mtsched_cli gen-lu",
+                 "Generate a blocked LU factorization DAG.");
+  args.add_int("blocks", 4, "blocks per matrix dimension");
+  args.add_int("dim", 1000, "matrix dimension n");
+  args.add_flag("dot", "emit Graphviz DOT instead of the text format");
+  if (!parse_or_help(args, argc, argv)) return 0;
+
+  const auto g = dag::block_lu_dag(static_cast<int>(args.integer("blocks")),
+                                   static_cast<int>(args.integer("dim")));
   std::cout << (args.flag("dot") ? dag::to_dot(g, "lu") : dag::to_text(g));
   return 0;
 }
 
+// --- schedule / run -----------------------------------------------------
+
 sched::Schedule compute_schedule(const dag::Dag& g, const exp::Lab& lab,
-                                 const Args& args) {
-  const auto algo = sched::make_allocator(args.str("algo", "HCPA"));
-  const models::SchedCostAdapter cost(lab.model(model_kind(args)));
+                                 const ArgParser& args) {
+  const auto algo = sched::make_allocator(args.str("algo"));
+  const models::SchedCostAdapter cost(
+      lab.model(model_kind(args.str("model"))));
   const auto strategy = args.flag("redist-aware")
                             ? sched::MappingStrategy::RedistributionAware
                             : sched::MappingStrategy::EarliestStart;
@@ -182,7 +207,24 @@ sched::Schedule compute_schedule(const dag::Dag& g, const exp::Lab& lab,
                                          lab.spec().num_nodes);
 }
 
-int cmd_schedule(const Args& args) {
+void add_schedule_options(ArgParser& args) {
+  args.add_str("algo", "HCPA",
+               "allocation algorithm: CPA, HCPA, MCPA, SEQ or MAXPAR",
+               "NAME");
+  add_model_option(args);
+  args.add_flag("redist-aware",
+                "use redistribution-aware mapping instead of earliest-start");
+  add_dag_input(args);
+  add_machine_option(args);
+}
+
+int cmd_schedule(int argc, char** argv) {
+  ArgParser args("mtsched_cli schedule",
+                 "Compute a schedule for a DAG and print the placement "
+                 "table.");
+  add_schedule_options(args);
+  if (!parse_or_help(args, argc, argv)) return 0;
+
   const auto g = load_dag(args);
   const auto lab = make_lab(args);
   const auto s = compute_schedule(g, *lab, args);
@@ -203,14 +245,21 @@ int cmd_schedule(const Args& args) {
   return 0;
 }
 
-int cmd_run(const Args& args) {
+int cmd_run(int argc, char** argv) {
+  ArgParser args("mtsched_cli run",
+                 "Schedule one DAG, simulate it and execute it on the "
+                 "emulated cluster.");
+  add_schedule_options(args);
+  args.add_uint64("exp-seed", 42, "experiment seed (cluster weather)");
+  args.add_flag("gantt", "print the experimental timeline");
+  if (!parse_or_help(args, argc, argv)) return 0;
+
   const auto g = load_dag(args);
   const auto lab = make_lab(args);
   const auto s = compute_schedule(g, *lab, args);
-  const auto& model = lab->model(model_kind(args));
+  const auto& model = lab->model(model_kind(args.str("model")));
   const auto sim_trace = sim::Simulator(model).run(g, s);
-  const auto exp_seed =
-      static_cast<std::uint64_t>(args.num("exp-seed", 42));
+  const auto exp_seed = args.uint64("exp-seed");
   const auto exp_trace = lab->rig().run(g, s, exp_seed);
   std::cout << "scheduler estimate: " << core::fmt(s.est_makespan, 2)
             << " s\n"
@@ -232,12 +281,21 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
-int cmd_case_study(const Args& args) {
+// --- case-study / campaign ----------------------------------------------
+
+int cmd_case_study(int argc, char** argv) {
+  ArgParser args("mtsched_cli case-study",
+                 "The paper's HCPA-vs-MCPA comparison: verdict-flip counts "
+                 "per cost model for one matrix dimension.");
+  args.add_int("dim", 2000, "matrix dimension to report (2000 or 3000)");
+  args.add_uint64("exp-seed", 42, "experiment seed (cluster weather)");
+  add_machine_option(args);
+  if (!parse_or_help(args, argc, argv)) return 0;
+
   const auto lab = make_lab(args);
   const auto suite = dag::generate_table1_suite();
-  const int dim = static_cast<int>(args.num("dim", 2000));
-  const auto exp_seed =
-      static_cast<std::uint64_t>(args.num("exp-seed", 42));
+  const int dim = static_cast<int>(args.integer("dim"));
+  const auto exp_seed = args.uint64("exp-seed");
   for (auto kind :
        {models::CostModelKind::Analytical, models::CostModelKind::Profile,
         models::CostModelKind::Empirical}) {
@@ -251,7 +309,128 @@ int cmd_case_study(const Args& args) {
   return 0;
 }
 
-int cmd_export_machine(const Args&) {
+std::vector<models::CostModelKind> parse_model_list(const std::string& csv) {
+  std::vector<models::CostModelKind> kinds;
+  for (const auto& name : core::split_csv(csv)) {
+    kinds.push_back(model_kind(name));
+  }
+  if (kinds.empty()) {
+    throw core::InvalidArgument("--models must name at least one model");
+  }
+  return kinds;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  ArgParser args(
+      "mtsched_cli campaign",
+      "Run a full experiment campaign (suites x algorithms x models x "
+      "seeds) on a worker pool and emit structured results. The output "
+      "is byte-identical for every --threads value.");
+  args.add_int("threads", core::ThreadPool::recommended_threads(),
+               "worker threads");
+  args.add_str("models", "analytical,profile,empirical",
+               "comma-separated cost models to sweep", "LIST");
+  args.add_str("algos", "HCPA,MCPA",
+               "comma-separated allocation algorithms (CPA, HCPA, MCPA, "
+               "SEQ, MAXPAR)",
+               "LIST");
+  args.add_str("dims", "", "keep only these matrix dimensions (e.g. "
+               "2000,3000); empty = all", "LIST");
+  args.add_str("suite-seeds", "2011",
+               "comma-separated Table I suite seeds, one 54-DAG suite each",
+               "LIST");
+  args.add_str("exp-seeds", "42",
+               "comma-separated experiment seeds (cluster weather)", "LIST");
+  args.add_str("out", "", "write the JSON document to FILE ('-' = stdout)",
+               "FILE");
+  args.add_str("csv", "", "also write the flat CSV to FILE ('-' = stdout)",
+               "FILE");
+  args.add_flag("progress", "report progress on stderr while running");
+  args.add_flag("quiet", "suppress the summary tables on stdout");
+  add_machine_option(args);
+  if (!parse_or_help(args, argc, argv)) return 0;
+
+  const auto lab = make_lab(args);
+
+  exp::CampaignSpec spec;
+  for (const auto seed :
+       core::split_csv_uint64(args.str("suite-seeds"), "--suite-seeds")) {
+    spec.suites.push_back(exp::SuiteSpec::table1(seed));
+  }
+  for (const auto& name : core::split_csv(args.str("algos"))) {
+    spec.algorithms.push_back(exp::AlgoSpec::allocator(name));
+  }
+  spec.models = exp::lab_models(*lab, parse_model_list(args.str("models")));
+  spec.dims = core::split_csv_int(args.str("dims"), "--dims");
+  spec.exp_seeds = core::split_csv_uint64(args.str("exp-seeds"), "--exp-seeds");
+  spec.threads = static_cast<int>(args.integer("threads"));
+
+  exp::ProgressFn progress;
+  if (args.flag("progress")) {
+    progress = [](const exp::CampaignProgress& p) {
+      if (p.jobs_done % 50 == 0 || p.jobs_done == p.jobs_total) {
+        std::cerr << "  [" << p.jobs_done << "/" << p.jobs_total << "] "
+                  << p.cache_hits << " cache hits, " << core::fmt(
+                         p.elapsed_seconds, 2) << " s elapsed\n";
+      }
+    };
+  }
+
+  const exp::Campaign campaign(lab->rig());
+  const auto result = campaign.run(spec, progress);
+
+  const auto write_doc = [](const std::string& path, const std::string& doc,
+                            const char* what) {
+    if (path == "-") {
+      std::cout << doc;
+      return;
+    }
+    std::ofstream f(path, std::ios::binary);
+    if (!f) {
+      throw core::InvalidArgument(std::string("cannot open ") + what +
+                                  " file '" + path + "'");
+    }
+    f << doc;
+  };
+  if (!args.str("out").empty()) {
+    write_doc(args.str("out"), exp::to_json(spec, result), "--out");
+  }
+  if (!args.str("csv").empty()) {
+    write_doc(args.str("csv"), exp::to_csv(result.records), "--csv");
+  }
+
+  if (!args.flag("quiet")) {
+    // Verdict-flip summary per (model, suite, exp seed) when the sweep
+    // pairs exactly two algorithms — the paper's headline table.
+    if (spec.algorithms.size() == 2) {
+      core::TextTable t;
+      t.set_header({"model", "suite seed", "exp seed", "flips", "of"});
+      for (const auto& model : spec.models) {
+        for (const auto& suite : spec.suites) {
+          for (const auto exp_seed : spec.exp_seeds) {
+            const auto cs = result.case_study(
+                model.label, spec.algorithms[0].label,
+                spec.algorithms[1].label, suite.seed, exp_seed);
+            t.add_row({model.label, std::to_string(suite.seed),
+                       std::to_string(exp_seed),
+                       std::to_string(cs.num_flips()),
+                       std::to_string(cs.outcomes.size())});
+          }
+        }
+      }
+      std::cout << t.render();
+    }
+    std::cout << result.metrics.describe();
+  }
+  return 0;
+}
+
+int cmd_export_machine(int argc, char** argv) {
+  ArgParser args("mtsched_cli export-machine",
+                 "Dump the built-in cluster behaviour as measurement "
+                 "tables (loadable via --machine).");
+  if (!parse_or_help(args, argc, argv)) return 0;
+
   const machine::JavaClusterModel java;
   const auto tables = machine::snapshot_tables(
       java, {{dag::TaskKernel::MatMul, 2000},
@@ -262,21 +441,45 @@ int cmd_export_machine(const Args&) {
   return 0;
 }
 
+constexpr Command kCommands[] = {
+    {"gen-dag", "generate a Table I style random DAG", cmd_gen_dag},
+    {"gen-daggen", "generate a DAGGEN-style layered DAG", cmd_gen_daggen},
+    {"gen-strassen", "generate a Strassen multiplication DAG",
+     cmd_gen_strassen},
+    {"gen-lu", "generate a blocked LU factorization DAG", cmd_gen_lu},
+    {"schedule", "compute a schedule for a DAG", cmd_schedule},
+    {"run", "schedule + simulate + execute one DAG", cmd_run},
+    {"case-study", "the paper's full HCPA-vs-MCPA comparison",
+     cmd_case_study},
+    {"campaign", "parallel experiment campaign with JSON/CSV output",
+     cmd_campaign},
+    {"export-machine", "dump the built-in cluster measurement tables",
+     cmd_export_machine},
+};
+
+[[noreturn]] void usage(const std::string& error) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr << "usage: mtsched_cli <command> [options]\ncommands:\n";
+  for (const auto& cmd : kCommands) {
+    std::string lhs = std::string("  ") + cmd.name;
+    if (lhs.size() < 17) lhs += std::string(17 - lhs.size(), ' ');
+    std::cerr << lhs << cmd.summary << '\n';
+  }
+  std::cerr << "run 'mtsched_cli <command> --help' for that command's "
+               "options\n";
+  std::exit(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
-  const Args args(argc, argv, 2);
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") usage();
   try {
-    if (cmd == "gen-dag") return cmd_gen_dag(args);
-    if (cmd == "gen-daggen") return cmd_gen_daggen(args);
-    if (cmd == "gen-strassen") return cmd_gen_strassen(args);
-    if (cmd == "gen-lu") return cmd_gen_lu(args);
-    if (cmd == "schedule") return cmd_schedule(args);
-    if (cmd == "run") return cmd_run(args);
-    if (cmd == "case-study") return cmd_case_study(args);
-    if (cmd == "export-machine") return cmd_export_machine(args);
+    for (const auto& c : kCommands) {
+      if (cmd == c.name) return c.run(argc, argv);
+    }
     usage("unknown command '" + cmd + "'");
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
