@@ -5,6 +5,7 @@
 // ~1500 % for HCPA, ~600 % for MCPA), the profile-based version accurate
 // (< 10 % on average) and the empirical version a reasonable compromise.
 #include "bench_util.hpp"
+#include "mtsched/models/factory.hpp"
 #include "mtsched/core/table.hpp"
 #include "mtsched/stats/summary.hpp"
 
@@ -16,14 +17,13 @@ int main() {
 
   exp::Lab lab;
   // One campaign covers all three simulator versions at once.
-  const auto campaign = bench::run_campaign(
-      lab, bench::table1_spec(lab, {models::CostModelKind::Analytical,
-                                    models::CostModelKind::Profile,
-                                    models::CostModelKind::Empirical}));
+  const auto campaign =
+      bench::run_campaign(lab, bench::table1_spec(lab, models::all_kinds()));
   std::vector<exp::CaseStudyResult> results;
-  for (const char* model : {"analytical", "profile", "empirical"}) {
-    results.push_back(campaign.case_study(model, "HCPA", "MCPA",
-                                          bench::kSuiteSeed, bench::kExpSeed));
+  for (const auto kind : models::all_kinds()) {
+    results.push_back(campaign.case_study(models::kind_name(kind), "HCPA",
+                                          "MCPA", bench::kSuiteSeed,
+                                          bench::kExpSeed));
   }
 
   std::cout << exp::render_error_boxplots(results) << '\n';

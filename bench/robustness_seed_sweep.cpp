@@ -11,6 +11,7 @@
 #include <map>
 
 #include "bench_util.hpp"
+#include "mtsched/models/factory.hpp"
 #include "mtsched/core/table.hpp"
 #include "mtsched/stats/summary.hpp"
 
@@ -26,9 +27,7 @@ int main() {
   for (std::uint64_t suite_seed : {2011, 4022, 6033}) {
     spec.suites.push_back(exp::SuiteSpec::table1(suite_seed));
   }
-  spec.models = exp::lab_models(lab, {models::CostModelKind::Analytical,
-                                      models::CostModelKind::Profile,
-                                      models::CostModelKind::Empirical});
+  spec.models = exp::lab_models(lab, models::all_kinds());
   spec.exp_seeds = {42, 43, 44};
   spec.threads = bench::bench_threads();
   const auto campaign = bench::run_campaign(lab, spec);
@@ -41,7 +40,8 @@ int main() {
     for (std::uint64_t exp_seed : {42, 43, 44}) {
       std::vector<std::string> row{std::to_string(suite_seed),
                                    std::to_string(exp_seed)};
-      for (const char* model : {"analytical", "profile", "empirical"}) {
+      for (const auto kind : models::all_kinds()) {
+        const std::string model = models::kind_name(kind);
         const auto result = campaign.case_study(model, "HCPA", "MCPA",
                                                 suite_seed, exp_seed);
         row.push_back(std::to_string(result.num_flips()));
@@ -53,7 +53,8 @@ int main() {
   }
   std::cout << t.render() << '\n';
 
-  for (const char* name : {"analytical", "profile", "empirical"}) {
+  for (const auto kind : models::all_kinds()) {
+    const char* name = models::kind_name(kind);
     const auto s = stats::summarize(totals[name]);
     std::cout << name << ": mean " << core::fmt(s.mean, 1) << " flips (min "
               << s.min << ", max " << s.max << ")\n";

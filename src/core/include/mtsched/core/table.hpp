@@ -29,6 +29,11 @@ class TextTable {
 /// Formats a double with the given precision (fixed notation).
 std::string fmt(double v, int precision = 3);
 
+/// Shortest decimal that round-trips the double (std::to_chars default).
+/// Deterministic: equal doubles always render to the same bytes, which
+/// makes serialized output diffable across runs and thread counts.
+std::string fmt_roundtrip(double v);
+
 /// Horizontal ASCII bar of the given signed value scaled to `width` chars at
 /// `full_scale`; negative values extend left of the axis mark.
 std::string hbar(double value, double full_scale, int width = 30);

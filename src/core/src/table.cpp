@@ -1,6 +1,7 @@
 #include "mtsched/core/table.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
@@ -50,6 +51,13 @@ std::string fmt(double v, int precision) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << v;
   return os.str();
+}
+
+std::string fmt_roundtrip(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  MTSCHED_INVARIANT(res.ec == std::errc(), "to_chars failed on a double");
+  return std::string(buf, res.ptr);
 }
 
 std::string hbar(double value, double full_scale, int width) {

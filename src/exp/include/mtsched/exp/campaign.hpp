@@ -34,6 +34,7 @@
 #include "mtsched/exp/case_study.hpp"
 #include "mtsched/exp/lab.hpp"
 #include "mtsched/models/cost_model.hpp"
+#include "mtsched/obs/sink.hpp"
 #include "mtsched/sched/mapping.hpp"
 #include "mtsched/tgrid/emulator.hpp"
 
@@ -97,7 +98,11 @@ struct CampaignSpec {
   std::vector<ModelRef> models;             ///< required, non-empty
   std::vector<int> dims;                    ///< keep only these n; empty = all
   std::vector<std::uint64_t> exp_seeds{42};
-  int threads = 1;                          ///< clamped below by 1
+
+  /// Worker threads of the parallel stage. 0 means "one per hardware
+  /// thread" (core::ThreadPool::recommended_threads()); negative values
+  /// are clamped to 1.
+  int threads = 1;
 };
 
 /// Result of one job.
@@ -135,9 +140,10 @@ struct CampaignMetrics {
   std::string describe() const;
 };
 
-/// Progress snapshot passed to the callback after every finished job.
-/// The callback runs under the runner's bookkeeping lock: keep it cheap
-/// and do not call back into the campaign.
+/// Progress snapshot passed to the legacy callback after every finished
+/// job. The callback runs under the runner's bookkeeping lock: keep it
+/// cheap and do not call back into the campaign. New code should observe
+/// campaigns through obs::Sink instead (see Campaign::run).
 struct CampaignProgress {
   std::size_t jobs_done = 0;
   std::size_t jobs_total = 0;
@@ -175,8 +181,23 @@ class Campaign {
   /// Expands and executes `spec`. Empty `suites`/`algorithms` fall back
   /// to the documented defaults; `models` must be non-empty and every
   /// model must live on a platform matching the rig's node count.
+  ///
+  /// `sink` is the campaign's observation channel (may be null):
+  ///   * sink->track() lanes are created at expansion time, one per
+  ///     memoized schedule cell ("schedule <dag>/<model>/<algo>") and one
+  ///     per job ("job <dag>/<model>/<algo>/s<seed>"), so the trace is
+  ///     deterministic across thread counts and run orders;
+  ///   * sink->metrics() receives campaign.{jobs_done,cache_hits,
+  ///     cache_misses} counters, campaign.{schedule,execute}_seconds
+  ///     histograms, and whatever the lower layers report;
+  ///   * sink->progress() pulses after every finished job.
   CampaignResult run(const CampaignSpec& spec,
-                     const ProgressFn& progress = {}) const;
+                     obs::Sink* sink = nullptr) const;
+
+  /// Legacy adapter: wraps `progress` in an internal sink. Kept so
+  /// pre-sink callers (benches, scripts) compile unchanged.
+  CampaignResult run(const CampaignSpec& spec,
+                     const ProgressFn& progress) const;
 
  private:
   const tgrid::TGridEmulator& rig_;

@@ -5,11 +5,13 @@
 // empirical model from sparse measurements and regression.
 #pragma once
 
+#include <array>
 #include <memory>
 
 #include "mtsched/machine/java_cluster.hpp"
 #include "mtsched/models/analytical.hpp"
 #include "mtsched/models/empirical.hpp"
+#include "mtsched/models/factory.hpp"
 #include "mtsched/models/profile.hpp"
 #include "mtsched/profiling/profiler.hpp"
 #include "mtsched/profiling/regression_builder.hpp"
@@ -43,9 +45,20 @@ class Lab {
   const tgrid::TGridEmulator& rig() const { return *rig_; }
   const profiling::Profiler& profiler() const { return *profiler_; }
 
-  const models::AnalyticalModel& analytical() const { return *analytical_; }
-  const models::ProfileModel& profile() const { return *profile_; }
-  const models::EmpiricalModel& empirical() const { return *empirical_; }
+  /// Typed views of the factory-built models. The static_casts are
+  /// sound: kind fixes the concrete type (see models::make_cost_model).
+  const models::AnalyticalModel& analytical() const {
+    return static_cast<const models::AnalyticalModel&>(
+        model(models::CostModelKind::Analytical));
+  }
+  const models::ProfileModel& profile() const {
+    return static_cast<const models::ProfileModel&>(
+        model(models::CostModelKind::Profile));
+  }
+  const models::EmpiricalModel& empirical() const {
+    return static_cast<const models::EmpiricalModel&>(
+        model(models::CostModelKind::Empirical));
+  }
 
   /// The regression build behind the empirical model (Figure 6 data).
   const profiling::EmpiricalBuild& empirical_build() const {
@@ -61,10 +74,9 @@ class Lab {
   platform::ClusterSpec spec_;
   std::unique_ptr<tgrid::TGridEmulator> rig_;
   std::unique_ptr<profiling::Profiler> profiler_;
-  std::unique_ptr<models::AnalyticalModel> analytical_;
-  std::unique_ptr<models::ProfileModel> profile_;
   profiling::EmpiricalBuild empirical_build_;
-  std::unique_ptr<models::EmpiricalModel> empirical_;
+  /// One model per CostModelKind, indexed by the enum value.
+  std::array<std::unique_ptr<const models::CostModel>, 3> models_;
 };
 
 }  // namespace mtsched::exp

@@ -32,6 +32,30 @@ struct ScheduleMemo {
   double makespan_sim = 0.0;
 };
 
+/// Sink that turns obs::Progress pulses back into the legacy
+/// CampaignProgress callback. Holds its own registry so the adapter can
+/// recover the cache-hit count the old snapshot carried.
+class ProgressAdapterSink final : public obs::Sink {
+ public:
+  explicit ProgressAdapterSink(const ProgressFn& fn)
+      : fn_(fn), hits_(&metrics_.counter("campaign.cache_hits")) {}
+
+  obs::MetricsRegistry* metrics() override { return &metrics_; }
+  void progress(const obs::Progress& p) override {
+    CampaignProgress snapshot;
+    snapshot.jobs_done = p.done;
+    snapshot.jobs_total = p.total;
+    snapshot.cache_hits = hits_->value();
+    snapshot.elapsed_seconds = p.elapsed_seconds;
+    fn_(snapshot);
+  }
+
+ private:
+  const ProgressFn& fn_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* hits_;
+};
+
 }  // namespace
 
 ModelRef lab_model(const Lab& lab, models::CostModelKind kind) {
@@ -147,6 +171,13 @@ Campaign::Campaign(const tgrid::TGridEmulator& rig) : rig_(rig) {}
 
 CampaignResult Campaign::run(const CampaignSpec& spec,
                              const ProgressFn& progress) const {
+  if (!progress) return run(spec, static_cast<obs::Sink*>(nullptr));
+  ProgressAdapterSink sink(progress);
+  return run(spec, &sink);
+}
+
+CampaignResult Campaign::run(const CampaignSpec& spec,
+                             obs::Sink* sink) const {
   const auto expand_start = Clock::now();
 
   // Resolve defaults without copying user-provided suites.
@@ -199,7 +230,15 @@ CampaignResult Campaign::run(const CampaignSpec& spec,
     std::uint64_t run_seed = 0;
     std::size_t memo_key = 0;
     std::size_t record_idx = 0;
+    obs::Track track;       ///< emulated execution events of this job
+    obs::Track memo_track;  ///< schedule+sim events of this job's cell
   };
+
+  // Trace lanes are created here, during the (serial, deterministic)
+  // expansion: the lane set and its order depend only on the spec, never
+  // on which worker later wins a memoized computation.
+  obs::MetricsRegistry* mreg = sink != nullptr ? sink->metrics() : nullptr;
+  std::unordered_map<std::size_t, obs::Track> memo_tracks;
 
   CampaignResult result;
   std::vector<Job> jobs;
@@ -241,6 +280,15 @@ CampaignResult Campaign::run(const CampaignSpec& spec,
             job.memo_key =
                 ((suite_base + di) * n_models + mi) * n_algos + ai;
             job.record_idx = result.records.size();
+            if (sink != nullptr) {
+              const std::string cell =
+                  inst.name + "/" + rec.model + "/" + rec.algorithm;
+              auto [mt, inserted] = memo_tracks.try_emplace(job.memo_key);
+              if (inserted) mt->second = sink->track("schedule " + cell);
+              job.memo_track = mt->second;
+              job.track = sink->track("job " + cell + "/s" +
+                                      std::to_string(exp_seed));
+            }
             result.records.push_back(std::move(rec));
             jobs.push_back(job);
           }
@@ -251,8 +299,23 @@ CampaignResult Campaign::run(const CampaignSpec& spec,
   }
 
   result.metrics.jobs = jobs.size();
-  result.metrics.threads = std::max(1, spec.threads);
+  result.metrics.threads = spec.threads == 0
+                               ? core::ThreadPool::recommended_threads()
+                               : std::max(1, spec.threads);
   result.metrics.expand_seconds = seconds_since(expand_start);
+
+  // Campaign-level instruments. Counter totals are deterministic; the
+  // stage-time histograms measure this particular run.
+  obs::Counter* jobs_ctr =
+      mreg != nullptr ? &mreg->counter("campaign.jobs_done") : nullptr;
+  obs::Counter* hits_ctr =
+      mreg != nullptr ? &mreg->counter("campaign.cache_hits") : nullptr;
+  obs::Counter* misses_ctr =
+      mreg != nullptr ? &mreg->counter("campaign.cache_misses") : nullptr;
+  obs::Histogram* sched_hist =
+      mreg != nullptr ? &mreg->histogram("campaign.schedule_seconds") : nullptr;
+  obs::Histogram* exec_hist =
+      mreg != nullptr ? &mreg->histogram("campaign.execute_seconds") : nullptr;
 
   // Parallel stage. The memo cache is shared: the first job of a
   // (suite, dag, model, algorithm) cell computes the schedule and the
@@ -276,10 +339,12 @@ CampaignResult Campaign::run(const CampaignSpec& spec,
       if (it != cache.end()) {
         memo_future = it->second;
         ++result.metrics.cache_hits;
+        if (hits_ctr != nullptr) hits_ctr->add();
       } else {
         memo_future = fill.get_future().share();
         cache.emplace(job.memo_key, memo_future);
         ++result.metrics.cache_misses;
+        if (misses_ctr != nullptr) misses_ctr->add();
         compute = true;
       }
     }
@@ -288,6 +353,10 @@ CampaignResult Campaign::run(const CampaignSpec& spec,
     if (compute) {
       const auto t0 = Clock::now();
       try {
+        // Whichever job wins the race emits the same allocation/mapping/
+        // simulation events onto the same per-cell lane — the trace does
+        // not betray who computed it (hit/miss lives in metrics only).
+        const obs::ScopedContext obs_ctx(job.memo_track, mreg);
         auto memo = std::make_shared<ScheduleMemo>();
         memo->schedule = (*job.schedule)(job.dag->graph, *job.model, P);
         memo->makespan_sim =
@@ -297,31 +366,36 @@ CampaignResult Campaign::run(const CampaignSpec& spec,
         fill.set_exception(std::current_exception());
       }
       schedule_seconds = seconds_since(t0);
+      if (sched_hist != nullptr) sched_hist->observe(schedule_seconds);
     }
 
     const auto memo = memo_future.get();  // rethrows schedule failures
     const auto t1 = Clock::now();
-    const double makespan_exp =
-        rig_.makespan(job.dag->graph, memo->schedule, job.run_seed);
+    double makespan_exp = 0.0;
+    {
+      const obs::ScopedContext obs_ctx(job.track, mreg);
+      makespan_exp = rig_.makespan(job.dag->graph, memo->schedule, job.run_seed);
+    }
     const double execute_seconds = seconds_since(t1);
+    if (exec_hist != nullptr) exec_hist->observe(execute_seconds);
 
     RunRecord& rec = result.records[job.record_idx];
     rec.allocation = memo->schedule.allocation();
     rec.makespan_sim = memo->makespan_sim;
     rec.makespan_exp = makespan_exp;
 
+    if (jobs_ctr != nullptr) jobs_ctr->add();
     {
       std::unique_lock lock(state_mutex);
       result.metrics.schedule_seconds += schedule_seconds;
       result.metrics.execute_seconds += execute_seconds;
       ++jobs_done;
-      if (progress) {
-        CampaignProgress snapshot;
-        snapshot.jobs_done = jobs_done;
-        snapshot.jobs_total = jobs.size();
-        snapshot.cache_hits = result.metrics.cache_hits;
-        snapshot.elapsed_seconds = seconds_since(run_start);
-        progress(snapshot);
+      if (sink != nullptr) {
+        obs::Progress pulse;
+        pulse.done = jobs_done;
+        pulse.total = jobs.size();
+        pulse.elapsed_seconds = seconds_since(run_start);
+        sink->progress(pulse);
       }
     }
   };

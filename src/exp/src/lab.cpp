@@ -22,26 +22,29 @@ void Lab::wire(const LabConfig& cfg) {
   rig_ = std::make_unique<tgrid::TGridEmulator>(*machine_, spec_);
   profiler_ = std::make_unique<profiling::Profiler>(*rig_);
 
-  analytical_ = std::make_unique<models::AnalyticalModel>(spec_);
-
-  // Section VI: brute-force measurement campaign -> profile model.
-  profile_ = std::make_unique<models::ProfileModel>(
-      spec_, profiler_->brute_force(cfg.profiling));
-
-  // Section VII: sparse measurements -> regressions -> empirical model.
+  // The paper's three simulator versions, built through the factory:
+  // Section VI's brute-force measurement campaign feeds the profile
+  // model, Section VII's sparse measurements + regressions the empirical
+  // one. The analytical model needs the platform spec only.
+  const auto tables = profiler_->brute_force(cfg.profiling);
   const profiling::RegressionBuilder builder(*profiler_);
   empirical_build_ = builder.build(cfg.profiling, cfg.sample_plan);
-  empirical_ =
-      std::make_unique<models::EmpiricalModel>(spec_, empirical_build_.fits);
+
+  models::CostModelInputs inputs;
+  inputs.spec = spec_;
+  inputs.profile = &tables;
+  inputs.empirical = &empirical_build_.fits;
+  for (const auto kind : models::all_kinds()) {
+    models_.at(static_cast<std::size_t>(kind)) =
+        models::make_cost_model(kind, inputs);
+  }
 }
 
 const models::CostModel& Lab::model(models::CostModelKind kind) const {
-  switch (kind) {
-    case models::CostModelKind::Analytical: return *analytical_;
-    case models::CostModelKind::Profile: return *profile_;
-    case models::CostModelKind::Empirical: return *empirical_;
-  }
-  throw core::InvalidArgument("unknown cost model kind");
+  const auto idx = static_cast<std::size_t>(kind);
+  MTSCHED_REQUIRE(idx < models_.size() && models_[idx] != nullptr,
+                  "unknown cost model kind");
+  return *models_[idx];
 }
 
 }  // namespace mtsched::exp

@@ -1,23 +1,17 @@
 #include "mtsched/exp/results.hpp"
 
-#include <charconv>
 #include <sstream>
 
 #include "mtsched/core/error.hpp"
+#include "mtsched/core/table.hpp"
 
 namespace mtsched::exp {
 
 namespace {
 
-/// Shortest decimal that round-trips the double (std::to_chars default).
-/// Deterministic: equal doubles always render to the same bytes, which is
-/// what makes the JSON/CSV writers thread-count-independent.
-std::string fmt_double(double v) {
-  char buf[64];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-  MTSCHED_INVARIANT(res.ec == std::errc(), "to_chars failed on a double");
-  return std::string(buf, res.ptr);
-}
+// Shortest round-trip decimals keep the JSON/CSV writers
+// thread-count-independent: equal doubles always render to equal bytes.
+using core::fmt_roundtrip;
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -137,9 +131,9 @@ std::string to_json(const CampaignSpec& spec, const CampaignResult& result) {
        << json_escape(r.algorithm) << "\", \"exp_seed\": " << r.exp_seed
        << ", \"run_seed\": " << r.run_seed << ", \"allocation\": ";
     write_json_array(os, r.allocation, [&](int p) { os << p; });
-    os << ", \"makespan_sim\": " << fmt_double(r.makespan_sim)
-       << ", \"makespan_exp\": " << fmt_double(r.makespan_exp)
-       << ", \"sim_error_percent\": " << fmt_double(r.sim_error_percent())
+    os << ", \"makespan_sim\": " << fmt_roundtrip(r.makespan_sim)
+       << ", \"makespan_exp\": " << fmt_roundtrip(r.makespan_exp)
+       << ", \"sim_error_percent\": " << fmt_roundtrip(r.sim_error_percent())
        << '}';
     if (i + 1 < result.records.size()) os << ',';
     os << '\n';
@@ -155,8 +149,8 @@ std::string to_csv(const std::vector<RunRecord>& records) {
     os << r.suite_seed << ',' << r.dag << ',' << r.matrix_dim << ','
        << r.model << ',' << r.algorithm << ',' << r.exp_seed << ','
        << r.run_seed << ',' << join_allocation(r.allocation) << ','
-       << fmt_double(r.makespan_sim) << ',' << fmt_double(r.makespan_exp)
-       << ',' << fmt_double(r.sim_error_percent()) << '\n';
+       << fmt_roundtrip(r.makespan_sim) << ',' << fmt_roundtrip(r.makespan_exp)
+       << ',' << fmt_roundtrip(r.sim_error_percent()) << '\n';
   }
   return os.str();
 }

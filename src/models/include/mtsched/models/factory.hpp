@@ -1,0 +1,49 @@
+// Cost-model factory: the one place that knows every CostModelKind, its
+// user-facing name, and how to construct the matching model.
+//
+// Callers that used to hard-code "analytical"/"profile"/"empirical"
+// string switches (the CLI, the lab, the benches) go through this
+// registry instead, so adding a model kind means touching exactly one
+// translation unit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mtsched/models/cost_model.hpp"
+#include "mtsched/models/empirical.hpp"
+#include "mtsched/models/profile.hpp"
+#include "mtsched/platform/cluster.hpp"
+
+namespace mtsched::models {
+
+/// Everything a model constructor may need. `spec` is always required;
+/// the table/fit pointers are only dereferenced by the kinds that need
+/// them (Profile and Empirical respectively) and must outlive the call.
+struct CostModelInputs {
+  platform::ClusterSpec spec;
+  const ProfileTables* profile = nullptr;
+  const EmpiricalFits* empirical = nullptr;
+};
+
+/// Every registered kind, in enum (= paper presentation) order.
+const std::vector<CostModelKind>& all_kinds();
+
+/// Name -> kind. Throws core::InvalidArgument listing the valid names.
+CostModelKind parse_kind(const std::string& name);
+
+/// Comma-separated names -> kinds. Throws core::InvalidArgument on an
+/// unknown name or an empty list.
+std::vector<CostModelKind> parse_kind_list(const std::string& csv);
+
+/// Builds the model for `kind`. Throws core::InvalidArgument when the
+/// inputs required by that kind are missing.
+std::unique_ptr<CostModel> make_cost_model(CostModelKind kind,
+                                           const CostModelInputs& inputs);
+
+/// Convenience: parse_kind + make_cost_model.
+std::unique_ptr<CostModel> make_cost_model(const std::string& name,
+                                           const CostModelInputs& inputs);
+
+}  // namespace mtsched::models

@@ -7,15 +7,6 @@
 
 namespace mtsched::models {
 
-const char* kind_name(CostModelKind k) {
-  switch (k) {
-    case CostModelKind::Analytical: return "analytical";
-    case CostModelKind::Profile: return "profile";
-    case CostModelKind::Empirical: return "empirical";
-  }
-  return "?";
-}
-
 CostModel::CostModel(platform::ClusterSpec spec) : spec_(std::move(spec)) {
   spec_.validate();
 }

@@ -1,0 +1,90 @@
+#include "mtsched/models/factory.hpp"
+
+#include "mtsched/core/argparse.hpp"
+#include "mtsched/core/error.hpp"
+#include "mtsched/models/analytical.hpp"
+
+namespace mtsched::models {
+
+namespace {
+
+struct KindEntry {
+  CostModelKind kind;
+  const char* name;
+};
+
+// The registry: kind <-> name <-> constructor all derive from this table.
+constexpr KindEntry kKinds[] = {
+    {CostModelKind::Analytical, "analytical"},
+    {CostModelKind::Profile, "profile"},
+    {CostModelKind::Empirical, "empirical"},
+};
+
+std::string valid_names() {
+  std::string out;
+  for (const auto& e : kKinds) {
+    if (!out.empty()) out += ", ";
+    out += e.name;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* kind_name(CostModelKind k) {
+  for (const auto& e : kKinds) {
+    if (e.kind == k) return e.name;
+  }
+  return "?";
+}
+
+const std::vector<CostModelKind>& all_kinds() {
+  static const std::vector<CostModelKind> kinds = [] {
+    std::vector<CostModelKind> out;
+    for (const auto& e : kKinds) out.push_back(e.kind);
+    return out;
+  }();
+  return kinds;
+}
+
+CostModelKind parse_kind(const std::string& name) {
+  for (const auto& e : kKinds) {
+    if (name == e.name) return e.kind;
+  }
+  throw core::InvalidArgument("unknown cost model '" + name + "' (valid: " +
+                              valid_names() + ")");
+}
+
+std::vector<CostModelKind> parse_kind_list(const std::string& csv) {
+  std::vector<CostModelKind> kinds;
+  for (const auto& name : core::split_csv(csv)) {
+    kinds.push_back(parse_kind(name));
+  }
+  MTSCHED_REQUIRE(!kinds.empty(), "the model list must name at least one "
+                                  "model (valid: " + valid_names() + ")");
+  return kinds;
+}
+
+std::unique_ptr<CostModel> make_cost_model(CostModelKind kind,
+                                           const CostModelInputs& inputs) {
+  switch (kind) {
+    case CostModelKind::Analytical:
+      return std::make_unique<AnalyticalModel>(inputs.spec);
+    case CostModelKind::Profile:
+      MTSCHED_REQUIRE(inputs.profile != nullptr,
+                      "the profile model needs measured ProfileTables");
+      return std::make_unique<ProfileModel>(inputs.spec, *inputs.profile);
+    case CostModelKind::Empirical:
+      MTSCHED_REQUIRE(inputs.empirical != nullptr,
+                      "the empirical model needs regression EmpiricalFits");
+      return std::make_unique<EmpiricalModel>(inputs.spec, *inputs.empirical);
+  }
+  throw core::InvalidArgument("unknown cost model kind");
+}
+
+std::unique_ptr<CostModel> make_cost_model(const std::string& name,
+                                           const CostModelInputs& inputs) {
+  return make_cost_model(parse_kind(name), inputs);
+}
+
+}  // namespace mtsched::models

@@ -1,0 +1,51 @@
+// Chrome trace_event JSON export (loadable in chrome://tracing and
+// Perfetto) plus a parser for the subset this exporter writes, so traces
+// can be validated and round-tripped in tests and CI.
+//
+// Tracks export as threads of one process: tid is the track's dense
+// creation index, with thread_name metadata carrying the track name.
+// Timestamps become microseconds. With `normalize_timestamps`, each
+// event's ts is replaced by its ordinal within its track — two runs of a
+// deterministic workload then serialize byte-identically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mtsched/obs/trace.hpp"
+
+namespace mtsched::obs {
+
+struct ChromeTraceOptions {
+  /// Replace wall-clock timestamps with per-track event ordinals so
+  /// identical runs diff cleanly.
+  bool normalize_timestamps = false;
+  std::string process_name = "mtsched";
+};
+
+/// Serializes a snapshot of `tracer` as {"traceEvents": [...]}.
+std::string to_chrome_json(const Tracer& tracer,
+                           const ChromeTraceOptions& options = {});
+
+/// One parsed trace event (metadata events are folded into track names).
+struct ChromeEvent {
+  char phase = 'i';
+  std::string category;
+  std::string name;
+  int tid = 0;
+  double ts_us = 0.0;
+  double value = 0.0;  ///< counter events ("args":{"value": ...})
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+struct ChromeTrace {
+  std::string process_name;
+  std::vector<std::string> track_names;  ///< indexed by tid
+  std::vector<ChromeEvent> events;       ///< document order, sans metadata
+};
+
+/// Parses what to_chrome_json emits (a strict subset of the trace_event
+/// format). Throws core::ParseError on malformed input.
+ChromeTrace parse_chrome_json(const std::string& json);
+
+}  // namespace mtsched::obs

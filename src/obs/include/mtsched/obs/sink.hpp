@@ -1,0 +1,78 @@
+// The observation sink: the one handle an instrumented component needs.
+//
+// Long-running components (the campaign runner today) accept a Sink*
+// instead of ad-hoc progress callbacks. Through it they
+//   * create trace tracks for their units of work (track()),
+//   * register counters/histograms (metrics()),
+//   * pulse coarse progress after each finished unit (progress()).
+// A null sink, or the default implementations below, disable all three
+// channels — observability never changes results, only visibility.
+//
+// Implementations must be thread-safe: worker threads call track() and
+// progress() concurrently.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "mtsched/obs/metrics.hpp"
+#include "mtsched/obs/trace.hpp"
+
+namespace mtsched::obs {
+
+/// One unit-of-work pulse. Component-specific detail (cache hit rates,
+/// stage timings) belongs in metrics(), not here.
+struct Progress {
+  std::size_t done = 0;
+  std::size_t total = 0;
+  double elapsed_seconds = 0.0;
+};
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// A new trace lane named `name`; default: tracing disabled.
+  virtual Track track(std::string name) {
+    (void)name;
+    return {};
+  }
+
+  /// The registry instruments report into; default: metrics disabled.
+  virtual MetricsRegistry* metrics() { return nullptr; }
+
+  /// Called after each finished unit of work, under the caller's
+  /// bookkeeping lock — keep it cheap.
+  virtual void progress(const Progress& p) { (void)p; }
+};
+
+/// Sink over an optional tracer, registry and progress callback — the
+/// standard composition used by the CLI and tests.
+class BasicSink final : public Sink {
+ public:
+  using ProgressCallback = std::function<void(const Progress&)>;
+
+  explicit BasicSink(Tracer* tracer = nullptr,
+                     MetricsRegistry* metrics = nullptr,
+                     ProgressCallback on_progress = {})
+      : tracer_(tracer),
+        metrics_(metrics),
+        on_progress_(std::move(on_progress)) {}
+
+  Track track(std::string name) override {
+    return tracer_ != nullptr ? tracer_->track(std::move(name)) : Track{};
+  }
+  MetricsRegistry* metrics() override { return metrics_; }
+  void progress(const Progress& p) override {
+    if (on_progress_) on_progress_(p);
+  }
+
+ private:
+  Tracer* tracer_;
+  MetricsRegistry* metrics_;
+  ProgressCallback on_progress_;
+};
+
+}  // namespace mtsched::obs

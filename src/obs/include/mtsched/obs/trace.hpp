@@ -1,0 +1,186 @@
+// Low-overhead span/event tracer.
+//
+// The tracer records *events* (span begin/end, instants, counter samples)
+// onto *tracks* — logical execution lanes that become thread rows in a
+// Chrome trace viewer. Tracks are logical rather than physical on
+// purpose: a campaign job emits onto the track of the job, not of
+// whichever pool worker happens to run it, so two runs of the same spec
+// produce the same event sequence per track no matter how the scheduler
+// interleaves threads. Exported track ids are dense and follow creation
+// order, which is fixed by spec expansion.
+//
+// Cost model:
+//   * disabled tracing is a default-constructed Track — every emission
+//     call is one null check, and instrumentation sites that would build
+//     names or args guard with `if (track)` first;
+//   * enabled tracing appends to a per-track buffer under a per-track
+//     mutex; tracks are written by one thread at a time in practice, so
+//     the lock is uncontended. Creating tracks takes a registry lock.
+//
+// Timestamps come from a monotonic clock, as seconds since the tracer's
+// construction. They are the only nondeterministic part of a trace; the
+// Chrome exporter can normalize them away (see chrome_trace.hpp).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mtsched::obs {
+
+class MetricsRegistry;
+class Tracer;
+
+/// Key/value annotations attached to an event. Values are preformatted
+/// strings; keep them short (they are serialized verbatim).
+using Args = std::vector<std::pair<std::string, std::string>>;
+
+/// One trace event. `category` must point at storage outliving the
+/// tracer (string literals in practice); names are owned.
+struct Event {
+  enum class Phase : char {
+    Begin = 'B',    ///< span opens (nest within one track)
+    End = 'E',      ///< span closes
+    Instant = 'i',  ///< point event
+    Counter = 'C',  ///< numeric sample of `name`
+  };
+
+  Phase phase = Phase::Instant;
+  const char* category = "";
+  std::string name;
+  double ts = 0.0;     ///< seconds since tracer construction (monotonic)
+  double value = 0.0;  ///< Counter events only
+  Args args;
+};
+
+namespace detail {
+/// Per-track storage. Lives in the tracer's deque, so the address is
+/// stable for the tracer's lifetime and Track handles can point straight
+/// at it without going through the registry.
+struct Lane {
+  explicit Lane(std::string lane_name) : name(std::move(lane_name)) {}
+
+  std::string name;
+  mutable std::mutex mutex;
+  std::vector<Event> events;
+};
+}  // namespace detail
+
+/// Handle onto one tracer lane. Copyable and cheap; a default-constructed
+/// Track is the disabled tracer — all emissions are no-ops.
+class Track {
+ public:
+  Track() = default;
+
+  explicit operator bool() const { return tracer_ != nullptr; }
+
+  /// Opens a span. Spans must nest properly within one track; close with
+  /// end() or use the Span RAII helper.
+  void begin(const char* category, std::string name, Args args = {}) const;
+  void end(const char* category, std::string name) const;
+
+  void instant(const char* category, std::string name, Args args = {}) const;
+
+  /// Samples counter `name` at the current time.
+  void counter(const char* category, std::string name, double value) const;
+
+ private:
+  friend class Tracer;
+  Track(Tracer* tracer, detail::Lane* lane) : tracer_(tracer), lane_(lane) {}
+
+  void emit(Event e) const;
+
+  Tracer* tracer_ = nullptr;
+  detail::Lane* lane_ = nullptr;
+};
+
+/// RAII span: begins on construction, ends on destruction.
+class Span {
+ public:
+  Span(Track track, const char* category, std::string name, Args args = {})
+      : track_(track), category_(category), name_(std::move(name)) {
+    track_.begin(category_, name_, std::move(args));
+  }
+  ~Span() { track_.end(category_, std::move(name_)); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Track track_;
+  const char* category_;
+  std::string name_;
+};
+
+/// Thread-safe event store. Create tracks with track(); emit through the
+/// returned handles; export with snapshot() (or obs::to_chrome_json).
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The implicit first track ("main").
+  Track root();
+
+  /// Registers a new track. Thread-safe; ids are assigned in call order,
+  /// so create tracks deterministically (e.g. at spec expansion) when
+  /// diffable traces matter.
+  Track track(std::string name);
+
+  std::size_t num_tracks() const;
+  std::size_t num_events() const;
+
+  struct TrackSnapshot {
+    std::string name;
+    std::vector<Event> events;  ///< emission order
+  };
+
+  /// Copies all tracks in creation order, events in emission order.
+  std::vector<TrackSnapshot> snapshot() const;
+
+ private:
+  friend class Track;
+
+  double now() const {
+    return std::chrono::duration<double>(Clock::now() - epoch_).count();
+  }
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point epoch_;
+  mutable std::mutex registry_mutex_;
+  std::deque<detail::Lane> lanes_;  // deque: stable addresses for handles
+};
+
+// --- ambient context ----------------------------------------------------
+//
+// Deep layers (scheduling algorithms, the simulation engine) emit onto
+// the *current* track without threading a handle through every signature.
+// The context is thread-local; a campaign worker scopes it per job.
+
+/// The calling thread's current track (disabled when no scope is active).
+Track current_track();
+
+/// The calling thread's current metrics registry (null when none).
+MetricsRegistry* current_metrics();
+
+/// Installs (track, metrics) as the calling thread's context for the
+/// scope's lifetime; restores the previous context on destruction.
+class ScopedContext {
+ public:
+  explicit ScopedContext(Track track, MetricsRegistry* metrics = nullptr);
+  ~ScopedContext();
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  Track prev_track_;
+  MetricsRegistry* prev_metrics_;
+};
+
+}  // namespace mtsched::obs

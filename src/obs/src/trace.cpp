@@ -1,0 +1,107 @@
+#include "mtsched/obs/trace.hpp"
+
+namespace mtsched::obs {
+
+void Track::emit(Event e) const {
+  e.ts = tracer_->now();
+  std::lock_guard lock(lane_->mutex);
+  lane_->events.push_back(std::move(e));
+}
+
+void Track::begin(const char* category, std::string name, Args args) const {
+  if (!tracer_) return;
+  Event e;
+  e.phase = Event::Phase::Begin;
+  e.category = category;
+  e.name = std::move(name);
+  e.args = std::move(args);
+  emit(std::move(e));
+}
+
+void Track::end(const char* category, std::string name) const {
+  if (!tracer_) return;
+  Event e;
+  e.phase = Event::Phase::End;
+  e.category = category;
+  e.name = std::move(name);
+  emit(std::move(e));
+}
+
+void Track::instant(const char* category, std::string name, Args args) const {
+  if (!tracer_) return;
+  Event e;
+  e.phase = Event::Phase::Instant;
+  e.category = category;
+  e.name = std::move(name);
+  e.args = std::move(args);
+  emit(std::move(e));
+}
+
+void Track::counter(const char* category, std::string name,
+                    double value) const {
+  if (!tracer_) return;
+  Event e;
+  e.phase = Event::Phase::Counter;
+  e.category = category;
+  e.name = std::move(name);
+  e.value = value;
+  emit(std::move(e));
+}
+
+Tracer::Tracer() : epoch_(Clock::now()) { lanes_.emplace_back("main"); }
+
+Track Tracer::root() { return Track(this, &lanes_.front()); }
+
+Track Tracer::track(std::string name) {
+  std::lock_guard lock(registry_mutex_);
+  lanes_.emplace_back(std::move(name));
+  return Track(this, &lanes_.back());
+}
+
+std::size_t Tracer::num_tracks() const {
+  std::lock_guard lock(registry_mutex_);
+  return lanes_.size();
+}
+
+std::size_t Tracer::num_events() const {
+  std::size_t n = 0;
+  std::lock_guard lock(registry_mutex_);
+  for (const auto& lane : lanes_) {
+    std::lock_guard lane_lock(lane.mutex);
+    n += lane.events.size();
+  }
+  return n;
+}
+
+std::vector<Tracer::TrackSnapshot> Tracer::snapshot() const {
+  std::vector<TrackSnapshot> out;
+  std::lock_guard lock(registry_mutex_);
+  out.reserve(lanes_.size());
+  for (const auto& lane : lanes_) {
+    std::lock_guard lane_lock(lane.mutex);
+    out.push_back(TrackSnapshot{lane.name, lane.events});
+  }
+  return out;
+}
+
+namespace {
+thread_local Track t_current_track;
+thread_local MetricsRegistry* t_current_metrics = nullptr;
+}  // namespace
+
+Track current_track() { return t_current_track; }
+
+MetricsRegistry* current_metrics() { return t_current_metrics; }
+
+ScopedContext::ScopedContext(Track track, MetricsRegistry* metrics)
+    : prev_track_(t_current_track), prev_metrics_(t_current_metrics) {
+  t_current_track = track;
+  t_current_metrics = metrics;
+}
+
+ScopedContext::~ScopedContext() {
+  t_current_track = prev_track_;
+  t_current_metrics = prev_metrics_;
+}
+
+}  // namespace mtsched::obs

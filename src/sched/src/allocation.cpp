@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "mtsched/core/error.hpp"
+#include "mtsched/obs/trace.hpp"
 
 namespace mtsched::sched {
 
@@ -125,6 +126,10 @@ CpaMetrics cpa_metrics(const dag::Dag& g, const SchedCost& cost,
 
 std::vector<int> CpaAllocator::allocate(const dag::Dag& g,
                                         const SchedCost& cost, int P) const {
+  const obs::Span obs_span(obs::current_track(), "sched",
+                           "allocate:" + name(),
+                           {{"tasks", std::to_string(g.num_tasks())},
+                            {"P", std::to_string(P)}});
   return cpa_skeleton(g, cost, P, [](dag::TaskId, int) { return true; });
 }
 
@@ -136,6 +141,10 @@ HcpaAllocator::HcpaAllocator(double min_efficiency)
 
 std::vector<int> HcpaAllocator::allocate(const dag::Dag& g,
                                          const SchedCost& cost, int P) const {
+  const obs::Span obs_span(obs::current_track(), "sched",
+                           "allocate:" + name(),
+                           {{"tasks", std::to_string(g.num_tasks())},
+                            {"P", std::to_string(P)}});
   // Self-constrained cap: no task may use more than ceil(P / omega)
   // processors, where omega is the DAG's maximum precedence-level width —
   // enough processors always remain for the task parallelism the DAG can
@@ -172,6 +181,10 @@ std::vector<int> HcpaAllocator::allocate(const dag::Dag& g,
 
 std::vector<int> McpaAllocator::allocate(const dag::Dag& g,
                                          const SchedCost& cost, int P) const {
+  const obs::Span obs_span(obs::current_track(), "sched",
+                           "allocate:" + name(),
+                           {{"tasks", std::to_string(g.num_tasks())},
+                            {"P", std::to_string(P)}});
   const auto level = g.precedence_levels();
   const int num_levels = g.num_levels();
   // Running total allocation per precedence level (starts at one processor
@@ -194,6 +207,10 @@ std::vector<int> SerialAllocator::allocate(const dag::Dag& g,
                                            const SchedCost& cost,
                                            int P) const {
   (void)cost;
+  const obs::Span obs_span(obs::current_track(), "sched",
+                           "allocate:" + name(),
+                           {{"tasks", std::to_string(g.num_tasks())},
+                            {"P", std::to_string(P)}});
   MTSCHED_REQUIRE(P >= 1, "cluster must have at least one processor");
   return std::vector<int>(g.num_tasks(), 1);
 }
@@ -202,6 +219,10 @@ std::vector<int> MaxParAllocator::allocate(const dag::Dag& g,
                                            const SchedCost& cost,
                                            int P) const {
   (void)cost;
+  const obs::Span obs_span(obs::current_track(), "sched",
+                           "allocate:" + name(),
+                           {{"tasks", std::to_string(g.num_tasks())},
+                            {"P", std::to_string(P)}});
   MTSCHED_REQUIRE(P >= 1, "cluster must have at least one processor");
   return std::vector<int>(g.num_tasks(), P);
 }

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "mtsched/core/error.hpp"
+#include "mtsched/obs/trace.hpp"
 
 namespace mtsched::sched {
 
@@ -43,6 +44,9 @@ Schedule HeteroListMapper::map(const dag::Dag& g,
                                const SchedCost& cost) const {
   const auto& spec = vc_.spec();
   const int P = spec.num_nodes;
+  const obs::Span obs_span(
+      obs::current_track(), "sched", "map:hetero",
+      {{"tasks", std::to_string(g.num_tasks())}, {"P", std::to_string(P)}});
   MTSCHED_REQUIRE(virtual_alloc.size() == g.num_tasks(),
                   "allocation vector size mismatch");
   for (int a : virtual_alloc) {

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "mtsched/core/error.hpp"
+#include "mtsched/obs/trace.hpp"
 #include "mtsched/sched/allocation.hpp"
 
 namespace mtsched::sched {
@@ -35,6 +36,12 @@ ListMapper::ListMapper(MappingStrategy strategy, double locality_weight)
 
 Schedule ListMapper::map(const dag::Dag& g, const std::vector<int>& alloc,
                          const SchedCost& cost, int P) const {
+  const obs::Span obs_span(
+      obs::current_track(), "sched",
+      strategy_ == MappingStrategy::RedistributionAware
+          ? "map:redist_aware"
+          : "map:earliest_start",
+      {{"tasks", std::to_string(g.num_tasks())}, {"P", std::to_string(P)}});
   MTSCHED_REQUIRE(P >= 1, "cluster must have at least one processor");
   MTSCHED_REQUIRE(alloc.size() == g.num_tasks(),
                   "allocation vector size mismatch");

@@ -21,6 +21,7 @@
 
 #include "mtsched/dag/dag.hpp"
 #include "mtsched/models/cost_model.hpp"
+#include "mtsched/obs/trace.hpp"
 #include "mtsched/platform/cluster.hpp"
 #include "mtsched/sched/schedule.hpp"
 #include "mtsched/sched/trace.hpp"
@@ -30,8 +31,11 @@ namespace mtsched::sim {
 class Simulator {
  public:
   /// `model` must outlive the simulator. The platform spec is taken from
-  /// the model (cost models are platform-bound).
-  explicit Simulator(const models::CostModel& model);
+  /// the model (cost models are platform-bound). When `trace` is a live
+  /// track, replay spans and engine events go there; when disabled (the
+  /// default), each run() falls back to the calling thread's
+  /// obs::current_track().
+  explicit Simulator(const models::CostModel& model, obs::Track trace = {});
 
   /// Simulates one schedule replay. Validates the schedule first.
   sched::RunTrace run(const dag::Dag& g, const sched::Schedule& s) const;
@@ -43,6 +47,7 @@ class Simulator {
 
  private:
   const models::CostModel& model_;
+  obs::Track trace_;
 };
 
 }  // namespace mtsched::sim

@@ -137,14 +137,21 @@ void ReplayState::launch_redistribution(std::size_t edge_idx) {
 
 }  // namespace
 
-Simulator::Simulator(const models::CostModel& model) : model_(model) {}
+Simulator::Simulator(const models::CostModel& model, obs::Track trace)
+    : model_(model), trace_(trace) {}
 
 sched::RunTrace Simulator::run(const dag::Dag& g,
                                const sched::Schedule& s) const {
   const auto& spec = model_.spec();
   sched::validate_schedule(g, s, spec.num_nodes);
 
+  const obs::Track trk = trace_ ? trace_ : obs::current_track();
+  const obs::Span obs_span(trk, "sim", "simulate:" + model_.name(),
+                           {{"tasks", std::to_string(g.num_tasks())},
+                            {"P", std::to_string(spec.num_nodes)}});
+
   simcore::Engine engine;
+  engine.set_trace(trk);
   simcore::ClusterSim cluster(engine, spec);
 
   sched::RunTrace trace;
@@ -186,6 +193,7 @@ sched::RunTrace Simulator::run(const dag::Dag& g,
   for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
     MTSCHED_INVARIANT(st.executing[t], "replay finished with unstarted tasks");
   }
+  trk.counter("sim", "makespan_seconds", trace.makespan);
   return trace;
 }
 

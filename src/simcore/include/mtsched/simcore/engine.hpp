@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "mtsched/obs/metrics.hpp"
+#include "mtsched/obs/trace.hpp"
 #include "mtsched/simcore/maxmin.hpp"
 
 namespace mtsched::simcore {
@@ -35,9 +37,17 @@ using CompletionFn = std::function<void(double now)>;
 
 class Engine {
  public:
-  Engine() = default;
+  /// Captures the calling thread's ambient obs context: activity
+  /// state-transition and reshare events go to obs::current_track()
+  /// (override with set_trace), event/reshare totals to
+  /// obs::current_metrics(). Both default to disabled, which costs one
+  /// branch per emission site.
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  /// Redirects trace events to `t` (pass {} to silence them).
+  void set_trace(obs::Track t) { trace_ = t; }
 
   /// Registers a resource with the given positive capacity.
   ResourceId add_resource(double capacity, std::string name = {});
@@ -93,7 +103,11 @@ class Engine {
 
   void recompute_rates();
   double next_event_dt() const;
+  void trace_state(const Activity& a, const char* state);
 
+  obs::Track trace_;
+  obs::Counter* events_counter_ = nullptr;
+  obs::Counter* reshares_counter_ = nullptr;
   double now_ = 0.0;
   ActivityId next_id_ = 1;
   std::uint64_t events_ = 0;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "mtsched/core/error.hpp"
+#include "mtsched/core/table.hpp"
 
 namespace mtsched::simcore {
 
@@ -13,6 +14,19 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // Work/delay below this is treated as complete; guards against float drift.
 constexpr double kEps = 1e-12;
 }  // namespace
+
+Engine::Engine() : trace_(obs::current_track()) {
+  if (obs::MetricsRegistry* m = obs::current_metrics()) {
+    events_counter_ = &m->counter("simcore.events");
+    reshares_counter_ = &m->counter("simcore.reshares");
+  }
+}
+
+void Engine::trace_state(const Activity& a, const char* state) {
+  trace_.instant("simcore",
+                 a.name.empty() ? "activity#" + std::to_string(a.id) : a.name,
+                 {{"state", state}, {"vt", core::fmt_roundtrip(now_)}});
+}
 
 ResourceId Engine::add_resource(double capacity, std::string name) {
   MTSCHED_REQUIRE(capacity > 0.0, "resource capacity must be positive");
@@ -51,8 +65,12 @@ ActivityId Engine::submit(std::vector<Use> uses, double amount, double delay,
   a.in_delay = delay > 0.0;
   a.on_complete = std::move(on_complete);
   const ActivityId id = a.id;
-  active_.emplace(id, std::move(a));
+  const auto it = active_.emplace(id, std::move(a)).first;
   rates_dirty_ = true;
+  if (trace_) {
+    trace_state(it->second, "submitted");
+    trace_.counter("simcore", "active", static_cast<double>(active_.size()));
+  }
   return id;
 }
 
@@ -78,6 +96,12 @@ void Engine::recompute_rates() {
     for (std::size_t i = 0; i < working.size(); ++i) working[i]->rate = rates[i];
   }
   rates_dirty_ = false;
+  if (reshares_counter_ != nullptr) reshares_counter_->add();
+  if (trace_) {
+    trace_.instant("simcore", "reshare",
+                   {{"working", std::to_string(working.size())},
+                    {"vt", core::fmt_roundtrip(now_)}});
+  }
 }
 
 double Engine::next_event_dt() const {
@@ -122,6 +146,7 @@ bool Engine::step() {
       a.in_delay = false;
       a.remaining_delay = 0.0;
       rates_dirty_ = true;
+      if (trace_) trace_state(a, "work");
     }
     if (!a.in_delay &&
         (a.remaining_amount <= kEps || a.uses.empty() || std::isinf(a.rate))) {
@@ -133,10 +158,17 @@ bool Engine::step() {
   callbacks.reserve(completed.size());
   for (ActivityId id : completed) {
     auto it = active_.find(id);
+    if (trace_) trace_state(it->second, "done");
     callbacks.push_back(std::move(it->second.on_complete));
     active_.erase(it);
     rates_dirty_ = true;
     ++events_;
+  }
+  if (events_counter_ != nullptr && !completed.empty()) {
+    events_counter_->add(completed.size());
+  }
+  if (trace_ && !completed.empty()) {
+    trace_.counter("simcore", "active", static_cast<double>(active_.size()));
   }
   for (auto& cb : callbacks) {
     if (cb) cb(now_);

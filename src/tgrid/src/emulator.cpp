@@ -5,6 +5,7 @@
 
 #include "mtsched/core/error.hpp"
 #include "mtsched/core/rng.hpp"
+#include "mtsched/obs/trace.hpp"
 #include "mtsched/redist/plan.hpp"
 #include "mtsched/simcore/cluster_sim.hpp"
 #include "mtsched/simcore/engine.hpp"
@@ -147,6 +148,10 @@ TGridEmulator::TGridEmulator(const machine::MachineModel& machine,
 sched::RunTrace TGridEmulator::run(const dag::Dag& g, const sched::Schedule& s,
                                    std::uint64_t seed) const {
   sched::validate_schedule(g, s, spec_.num_nodes);
+
+  const obs::Span obs_span(obs::current_track(), "tgrid", "execute",
+                           {{"tasks", std::to_string(g.num_tasks())},
+                            {"seed", std::to_string(seed)}});
 
   simcore::Engine engine;
   simcore::ClusterSim cluster(engine, spec_);

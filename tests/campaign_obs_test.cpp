@@ -1,0 +1,198 @@
+// Tests for campaign observability: the sink-based run API, trace
+// determinism across thread counts, the Chrome JSON round-trip, metric
+// counters, the legacy progress adapter, and threads = 0.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "mtsched/core/thread_pool.hpp"
+#include "mtsched/exp/campaign.hpp"
+#include "mtsched/exp/lab.hpp"
+#include "mtsched/exp/results.hpp"
+#include "mtsched/obs/chrome_trace.hpp"
+#include "mtsched/obs/metrics.hpp"
+#include "mtsched/obs/sink.hpp"
+#include "mtsched/obs/trace.hpp"
+
+namespace {
+
+using namespace mtsched;
+
+const exp::Lab& lab() {
+  static const exp::Lab instance;
+  return instance;
+}
+
+exp::CampaignSpec mini_spec() {
+  exp::CampaignSpec spec;
+  exp::SuiteSpec suite;
+  suite.seed = 7;
+  for (int i = 0; i < 3; ++i) {
+    dag::DagGenParams p;
+    p.width = 4;
+    p.add_ratio = 0.5;
+    p.matrix_dim = 2000;
+    p.seed = 700 + static_cast<std::uint64_t>(i);
+    suite.dags.push_back(dag::generate_random_dag(p));
+  }
+  spec.suites = {suite};
+  spec.models = {exp::lab_model(lab(), models::CostModelKind::Profile)};
+  spec.exp_seeds = {42, 43};
+  return spec;
+}
+
+/// Runs `spec` under a fresh tracer and returns the normalized Chrome
+/// JSON (timestamps replaced by per-track ordinals).
+std::string traced_json(const exp::CampaignSpec& spec) {
+  obs::Tracer tracer;
+  obs::BasicSink sink(&tracer);
+  exp::Campaign(lab().rig()).run(spec, &sink);
+  obs::ChromeTraceOptions opt;
+  opt.normalize_timestamps = true;
+  return obs::to_chrome_json(tracer, opt);
+}
+
+TEST(CampaignObs, NormalizedTraceIsIdenticalAcrossThreadCounts) {
+  auto spec = mini_spec();
+  spec.threads = 1;
+  const std::string seq = traced_json(spec);
+  spec.threads = 8;
+  const std::string par = traced_json(spec);
+  EXPECT_EQ(seq, par);
+  // And across repeated runs at the same thread count.
+  EXPECT_EQ(par, traced_json(spec));
+}
+
+TEST(CampaignObs, TraceCoversSchedSimAndTgridLayers) {
+  obs::Tracer tracer;
+  obs::BasicSink sink(&tracer);
+  auto spec = mini_spec();
+  spec.threads = 4;
+  exp::Campaign(lab().rig()).run(spec, &sink);
+
+  std::vector<std::string> categories;
+  std::vector<std::string> names;
+  for (const auto& track : tracer.snapshot()) {
+    for (const auto& e : track.events) {
+      categories.push_back(e.category);
+      names.push_back(e.name);
+    }
+  }
+  const auto has_cat = [&](const char* c) {
+    return std::find(categories.begin(), categories.end(), c) !=
+           categories.end();
+  };
+  const auto has_name_prefix = [&](const std::string& p) {
+    return std::any_of(names.begin(), names.end(), [&](const std::string& n) {
+      return n.compare(0, p.size(), p) == 0;
+    });
+  };
+  EXPECT_TRUE(has_cat("sched"));
+  EXPECT_TRUE(has_cat("sim"));
+  EXPECT_TRUE(has_cat("tgrid"));
+  EXPECT_TRUE(has_cat("simcore"));
+  EXPECT_TRUE(has_name_prefix("allocate:"));
+  EXPECT_TRUE(has_name_prefix("map:"));
+  EXPECT_TRUE(has_name_prefix("simulate:"));
+
+  // One lane per memo cell and per job, created in expansion order.
+  const auto snap = tracer.snapshot();
+  std::size_t schedule_lanes = 0, job_lanes = 0;
+  for (const auto& track : snap) {
+    if (track.name.rfind("schedule ", 0) == 0) ++schedule_lanes;
+    if (track.name.rfind("job ", 0) == 0) ++job_lanes;
+  }
+  EXPECT_EQ(schedule_lanes, 3u * 2u);  // dags x algorithms (HCPA, MCPA)
+  EXPECT_EQ(job_lanes, 3u * 2u * 2u);  // x exp seeds
+}
+
+TEST(CampaignObs, ChromeJsonRoundTrips) {
+  obs::Tracer tracer;
+  obs::BasicSink sink(&tracer);
+  auto spec = mini_spec();
+  spec.threads = 2;
+  exp::Campaign(lab().rig()).run(spec, &sink);
+
+  const std::string json = obs::to_chrome_json(tracer);
+  const auto parsed = obs::parse_chrome_json(json);
+  EXPECT_EQ(parsed.process_name, "mtsched");
+
+  const auto snap = tracer.snapshot();
+  ASSERT_EQ(parsed.track_names.size(), snap.size());
+  std::size_t total_events = 0;
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(parsed.track_names[i], snap[i].name);
+    total_events += snap[i].events.size();
+  }
+  EXPECT_EQ(parsed.events.size(), total_events);
+  for (const auto& e : parsed.events) {
+    ASSERT_GE(e.tid, 0);
+    ASSERT_LT(static_cast<std::size_t>(e.tid), parsed.track_names.size());
+  }
+}
+
+TEST(CampaignObs, MetricsMatchCampaignAccounting) {
+  obs::MetricsRegistry metrics;
+  obs::BasicSink sink(nullptr, &metrics);
+  auto spec = mini_spec();
+  spec.threads = 4;
+  const auto result = exp::Campaign(lab().rig()).run(spec, &sink);
+
+  EXPECT_EQ(metrics.counter("campaign.jobs_done").value(),
+            result.metrics.jobs);
+  EXPECT_EQ(metrics.counter("campaign.cache_hits").value(),
+            result.metrics.cache_hits);
+  EXPECT_EQ(metrics.counter("campaign.cache_misses").value(),
+            result.metrics.cache_misses);
+  EXPECT_EQ(metrics.histogram("campaign.schedule_seconds").summary().count,
+            result.metrics.cache_misses);
+  EXPECT_EQ(metrics.histogram("campaign.execute_seconds").summary().count,
+            result.metrics.jobs);
+  // The engine reported through the ambient context.
+  EXPECT_GT(metrics.counter("simcore.events").value(), 0u);
+  EXPECT_GT(metrics.counter("simcore.reshares").value(), 0u);
+}
+
+TEST(CampaignObs, SinkObservationDoesNotChangeResults) {
+  auto spec = mini_spec();
+  spec.threads = 4;
+  const auto plain = exp::Campaign(lab().rig()).run(spec);
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::BasicSink sink(&tracer, &metrics);
+  const auto observed = exp::Campaign(lab().rig()).run(spec, &sink);
+
+  EXPECT_EQ(exp::to_csv(plain.records), exp::to_csv(observed.records));
+}
+
+TEST(CampaignObs, LegacyProgressCallbackStillWorks) {
+  auto spec = mini_spec();
+  spec.threads = 2;
+  std::vector<exp::CampaignProgress> pulses;
+  const exp::ProgressFn progress = [&](const exp::CampaignProgress& p) {
+    pulses.push_back(p);
+  };
+  const auto result = exp::Campaign(lab().rig()).run(spec, progress);
+
+  ASSERT_EQ(pulses.size(), result.metrics.jobs);
+  EXPECT_EQ(pulses.back().jobs_done, result.metrics.jobs);
+  EXPECT_EQ(pulses.back().jobs_total, result.metrics.jobs);
+  EXPECT_EQ(pulses.back().cache_hits, result.metrics.cache_hits);
+  // done counts are a permutation of 1..jobs; within the callback they
+  // arrive strictly increasing (the bookkeeping lock serializes them).
+  for (std::size_t i = 1; i < pulses.size(); ++i) {
+    EXPECT_EQ(pulses[i].jobs_done, pulses[i - 1].jobs_done + 1);
+  }
+}
+
+TEST(CampaignObs, ThreadsZeroMeansHardwareConcurrency) {
+  auto spec = mini_spec();
+  spec.threads = 0;
+  const auto result = exp::Campaign(lab().rig()).run(spec);
+  EXPECT_EQ(result.metrics.threads, core::ThreadPool::recommended_threads());
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 // type, default and help text through core::ArgParser.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "mtsched/core/argparse.hpp"
@@ -20,6 +21,11 @@
 #include "mtsched/exp/report.hpp"
 #include "mtsched/exp/results.hpp"
 #include "mtsched/machine/table_machine.hpp"
+#include "mtsched/models/factory.hpp"
+#include "mtsched/obs/chrome_trace.hpp"
+#include "mtsched/obs/metrics.hpp"
+#include "mtsched/obs/sink.hpp"
+#include "mtsched/obs/trace.hpp"
 #include "mtsched/sched/allocation.hpp"
 #include "mtsched/sched/mapping.hpp"
 #include "mtsched/sim/simulator.hpp"
@@ -88,15 +94,6 @@ std::unique_ptr<exp::Lab> make_lab(const ArgParser& args) {
   exp::LabConfig cfg;
   cfg.sample_plan = profiling::SamplePlan::scaled(model->max_procs());
   return std::make_unique<exp::Lab>(std::move(model), spec, cfg);
-}
-
-models::CostModelKind model_kind(const std::string& name) {
-  if (name == "analytical") return models::CostModelKind::Analytical;
-  if (name == "profile") return models::CostModelKind::Profile;
-  if (name == "empirical") return models::CostModelKind::Empirical;
-  throw core::InvalidArgument(
-      "unknown cost model '" + name +
-      "' (valid: analytical, profile, empirical)");
 }
 
 /// Parses, honours --help, and reports errors uniformly. Returns true
@@ -192,13 +189,37 @@ int cmd_gen_lu(int argc, char** argv) {
   return 0;
 }
 
+// --- observability ------------------------------------------------------
+
+void add_obs_options(ArgParser& args) {
+  args.add_str("trace", "",
+               "write a Chrome trace_event JSON (chrome://tracing, "
+               "Perfetto) to FILE",
+               "FILE");
+  args.add_flag("trace-normalize",
+                "replace trace timestamps with per-track event ordinals "
+                "(byte-identical across runs; for diffing)");
+  args.add_flag("metrics", "print the metrics registry after the run");
+}
+
+void write_trace_file(const ArgParser& args, const obs::Tracer& tracer) {
+  const std::string& path = args.str("trace");
+  obs::ChromeTraceOptions opt;
+  opt.normalize_timestamps = args.flag("trace-normalize");
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    throw core::InvalidArgument("cannot open --trace file '" + path + "'");
+  }
+  f << obs::to_chrome_json(tracer, opt);
+}
+
 // --- schedule / run -----------------------------------------------------
 
 sched::Schedule compute_schedule(const dag::Dag& g, const exp::Lab& lab,
                                  const ArgParser& args) {
   const auto algo = sched::make_allocator(args.str("algo"));
   const models::SchedCostAdapter cost(
-      lab.model(model_kind(args.str("model"))));
+      lab.model(models::parse_kind(args.str("model"))));
   const auto strategy = args.flag("redist-aware")
                             ? sched::MappingStrategy::RedistributionAware
                             : sched::MappingStrategy::EarliestStart;
@@ -252,15 +273,30 @@ int cmd_run(int argc, char** argv) {
   add_schedule_options(args);
   args.add_uint64("exp-seed", 42, "experiment seed (cluster weather)");
   args.add_flag("gantt", "print the experimental timeline");
+  add_obs_options(args);
   if (!parse_or_help(args, argc, argv)) return 0;
 
   const auto g = load_dag(args);
   const auto lab = make_lab(args);
+
+  // Route the scheduling, simulation and emulated-execution layers'
+  // events to one tracer/registry via the ambient obs context.
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  const bool tracing = !args.str("trace").empty();
+  std::optional<obs::ScopedContext> obs_ctx;
+  if (tracing || args.flag("metrics")) {
+    obs_ctx.emplace(tracing ? tracer.root() : obs::Track{},
+                    args.flag("metrics") ? &metrics : nullptr);
+  }
+
   const auto s = compute_schedule(g, *lab, args);
-  const auto& model = lab->model(model_kind(args.str("model")));
+  const auto& model = lab->model(models::parse_kind(args.str("model")));
   const auto sim_trace = sim::Simulator(model).run(g, s);
   const auto exp_seed = args.uint64("exp-seed");
   const auto exp_trace = lab->rig().run(g, s, exp_seed);
+  obs_ctx.reset();
+  if (tracing) write_trace_file(args, tracer);
   std::cout << "scheduler estimate: " << core::fmt(s.est_makespan, 2)
             << " s\n"
             << "simulated makespan: " << core::fmt(sim_trace.makespan, 2)
@@ -272,6 +308,9 @@ int cmd_run(int argc, char** argv) {
                              sim_trace.makespan * 100.0,
                          1)
             << " % of the simulated value\n";
+  if (args.flag("metrics")) {
+    std::cout << '\n' << metrics.render();
+  }
   if (args.flag("gantt")) {
     std::vector<std::vector<int>> procs;
     for (const auto& pl : s.placements) procs.push_back(pl.procs);
@@ -296,9 +335,7 @@ int cmd_case_study(int argc, char** argv) {
   const auto suite = dag::generate_table1_suite();
   const int dim = static_cast<int>(args.integer("dim"));
   const auto exp_seed = args.uint64("exp-seed");
-  for (auto kind :
-       {models::CostModelKind::Analytical, models::CostModelKind::Profile,
-        models::CostModelKind::Empirical}) {
+  for (const auto kind : models::all_kinds()) {
     const exp::CaseStudy study(lab->model(kind), lab->rig());
     const auto result = study.run_suite(suite, exp_seed);
     const auto subset = result.with_dim(dim);
@@ -309,17 +346,6 @@ int cmd_case_study(int argc, char** argv) {
   return 0;
 }
 
-std::vector<models::CostModelKind> parse_model_list(const std::string& csv) {
-  std::vector<models::CostModelKind> kinds;
-  for (const auto& name : core::split_csv(csv)) {
-    kinds.push_back(model_kind(name));
-  }
-  if (kinds.empty()) {
-    throw core::InvalidArgument("--models must name at least one model");
-  }
-  return kinds;
-}
-
 int cmd_campaign(int argc, char** argv) {
   ArgParser args(
       "mtsched_cli campaign",
@@ -327,7 +353,7 @@ int cmd_campaign(int argc, char** argv) {
       "seeds) on a worker pool and emit structured results. The output "
       "is byte-identical for every --threads value.");
   args.add_int("threads", core::ThreadPool::recommended_threads(),
-               "worker threads");
+               "worker threads (0 = one per hardware thread)");
   args.add_str("models", "analytical,profile,empirical",
                "comma-separated cost models to sweep", "LIST");
   args.add_str("algos", "HCPA,MCPA",
@@ -347,6 +373,7 @@ int cmd_campaign(int argc, char** argv) {
                "FILE");
   args.add_flag("progress", "report progress on stderr while running");
   args.add_flag("quiet", "suppress the summary tables on stdout");
+  add_obs_options(args);
   add_machine_option(args);
   if (!parse_or_help(args, argc, argv)) return 0;
 
@@ -360,24 +387,32 @@ int cmd_campaign(int argc, char** argv) {
   for (const auto& name : core::split_csv(args.str("algos"))) {
     spec.algorithms.push_back(exp::AlgoSpec::allocator(name));
   }
-  spec.models = exp::lab_models(*lab, parse_model_list(args.str("models")));
+  spec.models = exp::lab_models(*lab, models::parse_kind_list(args.str("models")));
   spec.dims = core::split_csv_int(args.str("dims"), "--dims");
   spec.exp_seeds = core::split_csv_uint64(args.str("exp-seeds"), "--exp-seeds");
   spec.threads = static_cast<int>(args.integer("threads"));
 
-  exp::ProgressFn progress;
+  obs::BasicSink::ProgressCallback on_progress;
   if (args.flag("progress")) {
-    progress = [](const exp::CampaignProgress& p) {
-      if (p.jobs_done % 50 == 0 || p.jobs_done == p.jobs_total) {
-        std::cerr << "  [" << p.jobs_done << "/" << p.jobs_total << "] "
-                  << p.cache_hits << " cache hits, " << core::fmt(
-                         p.elapsed_seconds, 2) << " s elapsed\n";
+    on_progress = [](const obs::Progress& p) {
+      if (p.done % 50 == 0 || p.done == p.total) {
+        std::cerr << "  [" << p.done << "/" << p.total << "] "
+                  << core::fmt(p.elapsed_seconds, 2) << " s elapsed\n";
       }
     };
   }
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  const bool tracing = !args.str("trace").empty();
+  obs::BasicSink sink(tracing ? &tracer : nullptr,
+                      args.flag("metrics") ? &metrics : nullptr,
+                      std::move(on_progress));
+  const bool observed =
+      tracing || args.flag("metrics") || args.flag("progress");
 
   const exp::Campaign campaign(lab->rig());
-  const auto result = campaign.run(spec, progress);
+  const auto result = campaign.run(spec, observed ? &sink : nullptr);
+  if (tracing) write_trace_file(args, tracer);
 
   const auto write_doc = [](const std::string& path, const std::string& doc,
                             const char* what) {
@@ -421,6 +456,9 @@ int cmd_campaign(int argc, char** argv) {
       std::cout << t.render();
     }
     std::cout << result.metrics.describe();
+  }
+  if (args.flag("metrics")) {
+    std::cout << metrics.render();
   }
   return 0;
 }
