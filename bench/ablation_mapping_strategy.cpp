@@ -12,6 +12,7 @@
 #include "mtsched/stats/summary.hpp"
 
 int main() {
+  const bench::Reporter report("ablation_mapping_strategy");
   using namespace mtsched;
   bench::banner(
       "Ablation — EST vs redistribution-aware mapping",

@@ -14,6 +14,7 @@
 #include "mtsched/stats/summary.hpp"
 
 int main() {
+  const bench::Reporter report("ablation_overhead_terms");
   using namespace mtsched;
   bench::banner(
       "Ablation — contribution of each refined model term",

@@ -5,10 +5,17 @@
 // parallel, with the shared schedule cache), and pivots the records into
 // the paper's figures. Figures go to stdout; campaign metrics go to
 // stderr so piped output stays clean.
+//
+// Every bench also writes a machine-readable BENCH_<name>.json perf
+// report (obs::BenchReport) via the Reporter declared below — one
+// `bench::Reporter report("<name>");` line at the top of main() is the
+// whole wiring; run_campaign() feeds it campaign metrics automatically.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -18,6 +25,7 @@
 #include "mtsched/exp/case_study.hpp"
 #include "mtsched/exp/lab.hpp"
 #include "mtsched/exp/report.hpp"
+#include "mtsched/obs/bench_report.hpp"
 
 namespace bench {
 
@@ -57,11 +65,95 @@ inline mtsched::exp::CampaignSpec table1_spec(
   return spec;  // suites/algorithms use the documented defaults
 }
 
-/// Runs `spec` and reports the campaign metrics on stderr.
+/// Collects this process's perf numbers and writes BENCH_<name>.json on
+/// destruction. Construct one at the top of main(); it registers itself
+/// as the ambient reporter so run_campaign() can feed it without every
+/// bench threading a handle through.
+///
+/// The output directory is MTSCHED_BENCH_REPORT_DIR (default: the
+/// current directory); MTSCHED_BENCH_REPORT=0 disables writing.
+class Reporter {
+ public:
+  explicit Reporter(std::string name) : start_(Clock::now()) {
+    report_.name = std::move(name);
+    current_ = this;
+  }
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  ~Reporter() {
+    current_ = nullptr;
+    report_.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    if (const char* env = std::getenv("MTSCHED_BENCH_REPORT")) {
+      if (std::string(env) == "0") return;
+    }
+    std::string dir = ".";
+    if (const char* env = std::getenv("MTSCHED_BENCH_REPORT_DIR")) dir = env;
+    const std::string path = dir + "/" + report_.filename();
+    std::ofstream f(path, std::ios::binary);
+    if (!f) {
+      std::cerr << "bench report: cannot write '" << path << "'\n";
+      return;
+    }
+    f << report_.to_json();
+    std::cerr << "bench report: " << path << '\n';
+  }
+
+  /// Sets (overwrites) one metric.
+  void set(const std::string& metric, double value) {
+    report_.metrics[metric] = value;
+  }
+
+  void add_throughput(mtsched::obs::BenchReport::Throughput t) {
+    report_.throughput.push_back(std::move(t));
+  }
+
+  /// Accumulates one campaign run's execution metrics; repeated calls
+  /// (benches that run several campaigns) sum jobs and stage times.
+  void note_campaign(const mtsched::exp::CampaignMetrics& m) {
+    ++campaigns_;
+    jobs_ += m.jobs;
+    hits_ += m.cache_hits;
+    misses_ += m.cache_misses;
+    run_seconds_ += m.run_seconds;
+    set("campaign.count", static_cast<double>(campaigns_));
+    set("campaign.jobs", static_cast<double>(jobs_));
+    set("campaign.cache_hits", static_cast<double>(hits_));
+    set("campaign.cache_misses", static_cast<double>(misses_));
+    set("campaign.threads", static_cast<double>(m.threads));
+    set("campaign.run_seconds", run_seconds_);
+    if (run_seconds_ > 0.0) {
+      set("campaign.jobs_per_second",
+          static_cast<double>(jobs_) / run_seconds_);
+    }
+  }
+
+  /// The live reporter of this process, or nullptr.
+  static Reporter* current() { return current_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static inline Reporter* current_ = nullptr;
+
+  mtsched::obs::BenchReport report_;
+  Clock::time_point start_;
+  std::size_t campaigns_ = 0;
+  std::size_t jobs_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  double run_seconds_ = 0.0;
+};
+
+/// Runs `spec`, reports the campaign metrics on stderr, and feeds the
+/// ambient bench Reporter (when one exists).
 inline mtsched::exp::CampaignResult run_campaign(
     const mtsched::exp::Lab& lab, const mtsched::exp::CampaignSpec& spec) {
   const auto result = mtsched::exp::Campaign(lab.rig()).run(spec);
   std::cerr << result.metrics.describe();
+  if (Reporter* r = Reporter::current()) r->note_campaign(result.metrics);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "bench_util.hpp"
 
 int main() {
+  const bench::Reporter report("fig1_analytical_vs_experiment");
   using namespace mtsched;
   bench::banner(
       "Figure 1 — HCPA vs MCPA relative makespan, analytical model",

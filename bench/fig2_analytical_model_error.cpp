@@ -36,6 +36,7 @@ std::vector<double> error_series(double nominal_flops, double flops_total,
 }  // namespace
 
 int main() {
+  const bench::Reporter report("fig2_analytical_model_error");
   bench::banner(
       "Figure 2 — relative runtime prediction error of analytical models",
       "Hunold/Casanova/Suter 2011, Figure 2 (left: 1D MM/Java, right: "

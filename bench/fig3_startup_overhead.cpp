@@ -11,6 +11,7 @@
 #include "mtsched/tgrid/emulator.hpp"
 
 int main() {
+  const bench::Reporter report("fig3_startup_overhead");
   using namespace mtsched;
   bench::banner("Figure 3 — task startup overhead vs allocation size",
                 "Hunold/Casanova/Suter 2011, Figure 3 (20 trials per p)");

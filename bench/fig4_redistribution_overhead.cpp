@@ -12,6 +12,7 @@
 #include "mtsched/tgrid/emulator.hpp"
 
 int main() {
+  const bench::Reporter report("fig4_redistribution_overhead");
   using namespace mtsched;
   bench::banner(
       "Figure 4 — redistribution overhead vs (p_src, p_dst)",

@@ -7,6 +7,7 @@
 #include "bench_util.hpp"
 
 int main() {
+  const bench::Reporter report("fig5_profile_vs_experiment");
   using namespace mtsched;
   bench::banner(
       "Figure 5 — HCPA vs MCPA relative makespan, profile-based model",

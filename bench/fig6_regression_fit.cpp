@@ -53,6 +53,7 @@ void show_fit(const machine::JavaClusterModel& java, int n,
 }  // namespace
 
 int main() {
+  const bench::Reporter report("fig6_regression_fit");
   bench::banner(
       "Figure 6 — regression fits with and without the p = 8/16 outliers",
       "Hunold/Casanova/Suter 2011, Figure 6 (left: outliers, right: final "

@@ -6,6 +6,7 @@
 #include "bench_util.hpp"
 
 int main() {
+  const bench::Reporter report("fig7_empirical_vs_experiment");
   using namespace mtsched;
   bench::banner(
       "Figure 7 — HCPA vs MCPA relative makespan, empirical model",

@@ -10,6 +10,7 @@
 #include "mtsched/stats/summary.hpp"
 
 int main() {
+  const bench::Reporter report("fig8_error_boxplots");
   using namespace mtsched;
   bench::banner("Figure 8 — makespan simulation error per model",
                 "Hunold/Casanova/Suter 2011, Figure 8 (left: HCPA, right: "

@@ -24,6 +24,7 @@
 #include "mtsched/tgrid/emulator.hpp"
 
 int main() {
+  const bench::Reporter report("hetero_virtual_cluster");
   using namespace mtsched;
   bench::banner("Heterogeneity — speed-blind vs virtual-cluster scheduling",
                 "extension; HCPA's homogenization idea (paper ref. [12])");

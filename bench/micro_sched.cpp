@@ -4,6 +4,7 @@
 // Table I instances and on much larger random DAGs.
 #include <benchmark/benchmark.h>
 
+#include "micro_util.hpp"
 #include "mtsched/dag/generator.hpp"
 #include "mtsched/exp/lab.hpp"
 #include "mtsched/models/analytical.hpp"
@@ -72,4 +73,6 @@ BENCHMARK(BM_DagGeneration)->Arg(10)->Arg(100)->Arg(1000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return bench::run_micro_suite("micro_sched", argc, argv);
+}

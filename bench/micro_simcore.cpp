@@ -4,6 +4,7 @@
 // (minutes of simulation for hours of cluster time).
 #include <benchmark/benchmark.h>
 
+#include "micro_util.hpp"
 #include "mtsched/core/rng.hpp"
 #include "mtsched/platform/cluster.hpp"
 #include "mtsched/simcore/cluster_sim.hpp"
@@ -89,4 +90,6 @@ BENCHMARK(BM_PtaskStorm)->Arg(32)->Arg(256)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return bench::run_micro_suite("micro_simcore", argc, argv);
+}

@@ -16,6 +16,7 @@
 #include "mtsched/stats/summary.hpp"
 
 int main() {
+  const bench::Reporter report("robustness_seed_sweep");
   using namespace mtsched;
   bench::banner(
       "Robustness — verdict flips across seeds",

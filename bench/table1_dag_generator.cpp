@@ -5,6 +5,7 @@
 #include "mtsched/stats/summary.hpp"
 
 int main() {
+  const bench::Reporter report("table1_dag_generator");
   using namespace mtsched;
   bench::banner("Table I — parameters used for generating random DAGs",
                 "Hunold/Casanova/Suter 2011, Table I (54 DAG instances)");

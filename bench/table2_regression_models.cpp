@@ -8,6 +8,7 @@
 #include "mtsched/tgrid/emulator.hpp"
 
 int main() {
+  const bench::Reporter report("table2_regression_models");
   using namespace mtsched;
   bench::banner("Table II — regression models (empirical simulator)",
                 "Hunold/Casanova/Suter 2011, Table II");

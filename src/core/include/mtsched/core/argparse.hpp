@@ -6,6 +6,8 @@
 // real usage page from the declarations (no more "see tool header").
 //
 // Accepted syntax: `--name value`, `--name=value`, and bare `--flag`.
+// Commands that operate on files declare required positional arguments
+// with add_positional(); bare tokens fill them in declaration order.
 // `--help` / `-h` are always recognised and only set help_requested().
 #pragma once
 
@@ -39,9 +41,16 @@ class ArgParser {
                         const std::string& metavar = "X");
   ArgParser& add_flag(const std::string& name, const std::string& help);
 
+  /// Declares a required positional argument (read back with str()).
+  /// Bare command-line tokens fill positionals in declaration order;
+  /// parse() throws when one is missing or a surplus token appears.
+  ArgParser& add_positional(const std::string& name, const std::string& help,
+                            const std::string& metavar = "ARG");
+
   /// Parses argv[first..argc). Throws core::InvalidArgument on an unknown
   /// option (the message lists the valid ones), a value option at the end
-  /// of the line, a flag given a value, or a malformed number.
+  /// of the line, a flag given a value, a malformed number, or a missing/
+  /// surplus positional argument (unless --help appeared).
   void parse(int argc, const char* const* argv, int first = 1);
 
   /// True when --help/-h appeared anywhere; the caller should print help()
@@ -71,6 +80,7 @@ class ArgParser {
     std::string metavar;
     std::string value;  ///< current value (default until parse overwrites)
     bool given = false;
+    bool positional = false;
   };
 
   const Option& lookup(const std::string& name, Kind kind,
@@ -81,6 +91,7 @@ class ArgParser {
   std::string summary_;
   std::map<std::string, Option> options_;
   std::vector<std::string> declaration_order_;
+  std::vector<std::string> positional_order_;
   bool help_requested_ = false;
 };
 

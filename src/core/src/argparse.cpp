@@ -92,6 +92,16 @@ ArgParser& ArgParser::add_flag(const std::string& name,
   return *this;
 }
 
+ArgParser& ArgParser::add_positional(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& metavar) {
+  Option opt{Kind::Str, help, metavar, "", false};
+  opt.positional = true;
+  options_[name] = std::move(opt);
+  positional_order_.push_back(name);
+  return *this;
+}
+
 void ArgParser::fail_unknown(const std::string& name) const {
   std::ostringstream os;
   os << prog_ << ": unknown option '--" << name << "' (valid:";
@@ -101,6 +111,7 @@ void ArgParser::fail_unknown(const std::string& name) const {
 }
 
 void ArgParser::parse(int argc, const char* const* argv, int first) {
+  std::size_t next_positional = 0;
   for (int i = first; i < argc; ++i) {
     std::string token = argv[i];
     if (token == "--help" || token == "-h") {
@@ -108,8 +119,16 @@ void ArgParser::parse(int argc, const char* const* argv, int first) {
       continue;
     }
     if (token.rfind("--", 0) != 0) {
-      throw InvalidArgument(prog_ + ": unexpected positional argument '" +
-                            token + "' (options start with --)");
+      if (next_positional >= positional_order_.size()) {
+        throw InvalidArgument(
+            prog_ + ": unexpected positional argument '" + token + "'" +
+            (positional_order_.empty() ? " (options start with --)"
+                                       : " (surplus positional)"));
+      }
+      Option& pos = options_.at(positional_order_[next_positional++]);
+      pos.value = token;
+      pos.given = true;
+      continue;
     }
     token = token.substr(2);
 
@@ -157,18 +176,40 @@ void ArgParser::parse(int argc, const char* const* argv, int first) {
     opt.value = value;
     opt.given = true;
   }
+  if (!help_requested_) {
+    for (const auto& name : positional_order_) {
+      if (!options_.at(name).given) {
+        throw InvalidArgument(prog_ + ": missing required argument " +
+                              options_.at(name).metavar + " (" + name + ")");
+      }
+    }
+  }
 }
 
 std::string ArgParser::help() const {
   std::ostringstream os;
   os << "usage: " << prog_;
+  for (const auto& name : positional_order_) os << ' ' << options_.at(name).metavar;
   for (const auto& name : declaration_order_) {
     const Option& o = options_.at(name);
     os << " [--" << name;
     if (o.kind != Kind::Flag) os << ' ' << o.metavar;
     os << ']';
   }
-  os << "\n\n" << summary_ << "\n\noptions:\n";
+  os << "\n\n" << summary_ << "\n\n";
+  if (!positional_order_.empty()) {
+    os << "arguments:\n";
+    for (const auto& name : positional_order_) {
+      const Option& o = options_.at(name);
+      std::string lhs = "  " + o.metavar;
+      os << lhs;
+      if (lhs.size() < 26) os << std::string(26 - lhs.size(), ' ');
+      else os << "\n" << std::string(26, ' ');
+      os << o.help << '\n';
+    }
+    os << '\n';
+  }
+  os << "options:\n";
   for (const auto& name : declaration_order_) {
     const Option& o = options_.at(name);
     std::string lhs = "  --" + name;

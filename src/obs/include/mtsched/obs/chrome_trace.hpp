@@ -7,6 +7,12 @@
 // Timestamps become microseconds. With `normalize_timestamps`, each
 // event's ts is replaced by its ordinal within its track — two runs of a
 // deterministic workload then serialize byte-identically.
+//
+// The exporter always emits a *well-formed* trace: spans still open at
+// snapshot time are auto-closed at their track's last timestamp with an
+// "incomplete": true arg, and when the tracer's event cap dropped
+// events, a "trace.dropped_events" counter event records how many are
+// missing (see obs::TraceProfile, which surfaces both).
 #pragma once
 
 #include <string>

@@ -22,6 +22,7 @@
 // Chrome exporter can normalize them away (see chrome_trace.hpp).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <deque>
@@ -32,6 +33,7 @@
 
 namespace mtsched::obs {
 
+class Counter;
 class MetricsRegistry;
 class Tracer;
 
@@ -132,6 +134,20 @@ class Tracer {
   /// diffable traces matter.
   Track track(std::string name);
 
+  /// Caps the total number of events this tracer retains so unattended
+  /// week-long campaigns cannot grow without bound; emissions beyond the
+  /// cap are dropped (silently for the emitter) and counted. 0 (the
+  /// default) means unlimited. When `metrics` is non-null every drop
+  /// also increments its "trace.dropped_events" counter. Set the cap
+  /// before emission starts; it is not meant to be flipped mid-run.
+  void set_event_cap(std::size_t max_events,
+                     MetricsRegistry* metrics = nullptr);
+
+  /// Events dropped by the cap so far (0 without a cap).
+  std::size_t dropped_events() const {
+    return dropped_events_.load(std::memory_order_relaxed);
+  }
+
   std::size_t num_tracks() const;
   std::size_t num_events() const;
 
@@ -150,10 +166,18 @@ class Tracer {
     return std::chrono::duration<double>(Clock::now() - epoch_).count();
   }
 
+  /// Reserves storage for one event; false (and a drop count) when the
+  /// cap is reached. Lock-free.
+  bool admit();
+
   using Clock = std::chrono::steady_clock;
   Clock::time_point epoch_;
   mutable std::mutex registry_mutex_;
   std::deque<detail::Lane> lanes_;  // deque: stable addresses for handles
+  std::atomic<std::size_t> event_cap_{0};  // 0 = unlimited
+  std::atomic<std::size_t> stored_events_{0};
+  std::atomic<std::size_t> dropped_events_{0};
+  std::atomic<Counter*> dropped_counter_{nullptr};
 };
 
 // --- ambient context ----------------------------------------------------

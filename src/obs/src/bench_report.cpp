@@ -1,0 +1,73 @@
+#include "mtsched/obs/bench_report.hpp"
+
+#include <sstream>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/core/table.hpp"
+#include "mtsched/obs/json.hpp"
+
+namespace mtsched::obs {
+
+namespace {
+constexpr const char* kSchema = "mtsched.bench.v1";
+constexpr const char* kWhat = "bench report JSON";
+}  // namespace
+
+std::string BenchReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"" << kSchema << "\",\n";
+  os << "  \"name\": \"" << json::escape(name) << "\",\n";
+  os << "  \"wall_seconds\": " << core::fmt_roundtrip(wall_seconds) << ",\n";
+  os << "  \"metrics\": {";
+  bool first = true;
+  for (const auto& [metric, value] : metrics) {
+    os << (first ? "\n" : ",\n") << "    \"" << json::escape(metric)
+       << "\": " << core::fmt_roundtrip(value);
+    first = false;
+  }
+  os << (first ? "},\n" : "\n  },\n");
+  os << "  \"throughput\": [";
+  for (std::size_t i = 0; i < throughput.size(); ++i) {
+    const Throughput& t = throughput[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+       << json::escape(t.name) << "\", \"seconds_per_iteration\": "
+       << core::fmt_roundtrip(t.seconds_per_iteration)
+       << ", \"items_per_second\": "
+       << core::fmt_roundtrip(t.items_per_second) << '}';
+  }
+  os << (throughput.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+BenchReport BenchReport::from_json(const std::string& text) {
+  const json::Value doc = json::parse(text, kWhat);
+  if (doc.type != json::Value::Type::Object) {
+    throw core::ParseError(std::string(kWhat) + ": document is not an object");
+  }
+  const std::string schema = json::member(doc, "schema", kWhat).str;
+  if (schema != kSchema) {
+    throw core::ParseError(std::string(kWhat) + ": unsupported schema '" +
+                           schema + "' (want " + kSchema + ")");
+  }
+  BenchReport report;
+  report.name = json::member(doc, "name", kWhat).str;
+  report.wall_seconds = json::member(doc, "wall_seconds", kWhat).num;
+  for (const auto& [metric, value] :
+       json::member(doc, "metrics", kWhat).members) {
+    report.metrics[metric] = value.num;
+  }
+  for (const json::Value& item :
+       json::member(doc, "throughput", kWhat).items) {
+    Throughput t;
+    t.name = json::member(item, "name", kWhat).str;
+    t.seconds_per_iteration =
+        json::member(item, "seconds_per_iteration", kWhat).num;
+    t.items_per_second = json::member(item, "items_per_second", kWhat).num;
+    report.throughput.push_back(std::move(t));
+  }
+  return report;
+}
+
+}  // namespace mtsched::obs

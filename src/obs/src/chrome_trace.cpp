@@ -1,44 +1,34 @@
 #include "mtsched/obs/chrome_trace.hpp"
 
-#include <cctype>
 #include <sstream>
+#include <vector>
 
 #include "mtsched/core/error.hpp"
 #include "mtsched/core/table.hpp"
+#include "mtsched/obs/json.hpp"
 
 namespace mtsched::obs {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
+constexpr const char* kWhat = "chrome trace JSON";
 
 void write_event(std::ostringstream& os, const Event& e, std::size_t tid,
-                 double ts_us) {
+                 double ts_us, bool incomplete = false) {
   os << "{\"ph\":\"" << static_cast<char>(e.phase) << "\",\"pid\":0,\"tid\":"
      << tid << ",\"ts\":" << core::fmt_roundtrip(ts_us) << ",\"cat\":\""
-     << json_escape(e.category) << "\",\"name\":\"" << json_escape(e.name)
+     << json::escape(e.category) << "\",\"name\":\"" << json::escape(e.name)
      << '"';
   if (e.phase == Event::Phase::Counter) {
     os << ",\"args\":{\"value\":" << core::fmt_roundtrip(e.value) << '}';
+  } else if (incomplete) {
+    os << ",\"args\":{\"incomplete\":true}";
   } else if (!e.args.empty()) {
     os << ",\"args\":{";
     for (std::size_t i = 0; i < e.args.size(); ++i) {
       if (i) os << ',';
-      os << '"' << json_escape(e.args[i].first) << "\":\""
-         << json_escape(e.args[i].second) << '"';
+      os << '"' << json::escape(e.args[i].first) << "\":\""
+         << json::escape(e.args[i].second) << '"';
     }
     os << '}';
   }
@@ -54,211 +44,86 @@ std::string to_chrome_json(const Tracer& tracer,
   os << "{\"traceEvents\":[\n";
   os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
         "\"args\":{\"name\":\""
-     << json_escape(options.process_name) << "\"}}";
+     << json::escape(options.process_name) << "\"}}";
   for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
     os << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
-       << json_escape(tracks[tid].name) << "\"}}";
+       << json::escape(tracks[tid].name) << "\"}}";
   }
   // Events grouped per track in creation order (viewers sort by ts); with
   // normalized timestamps this grouping is what makes the document stable.
   for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
     const auto& events = tracks[tid].events;
+    // Spans still open at snapshot time (a Begin with no matching End —
+    // the tracer was exported mid-span or the emitter crashed) would
+    // leave the trace malformed; auto-close them at the track's last
+    // timestamp, flagged with "incomplete": true.
+    std::vector<const Event*> open;
     for (std::size_t i = 0; i < events.size(); ++i) {
+      const Event& e = events[i];
+      if (e.phase == Event::Phase::Begin) {
+        open.push_back(&e);
+      } else if (e.phase == Event::Phase::End && !open.empty()) {
+        open.pop_back();
+      }
       const double ts_us = options.normalize_timestamps
                                ? static_cast<double>(i)
-                               : events[i].ts * 1e6;
+                               : e.ts * 1e6;
       os << ",\n";
-      write_event(os, events[i], tid, ts_us);
+      write_event(os, e, tid, ts_us);
     }
+    std::size_t close_ordinal = events.size();
+    while (!open.empty()) {
+      Event close;
+      close.phase = Event::Phase::End;
+      close.category = open.back()->category;
+      close.name = open.back()->name;
+      open.pop_back();
+      const double close_ts =
+          options.normalize_timestamps
+              ? static_cast<double>(close_ordinal++)
+              : (events.empty() ? 0.0 : events.back().ts * 1e6);
+      os << ",\n";
+      write_event(os, close, tid, close_ts, /*incomplete=*/true);
+    }
+  }
+  // Cap-dropped events are invisible by definition; record how many are
+  // missing so readers (trace-report) can qualify the numbers.
+  if (tracer.dropped_events() > 0) {
+    Event dropped;
+    dropped.phase = Event::Phase::Counter;
+    dropped.category = "trace";
+    dropped.name = "trace.dropped_events";
+    dropped.value = static_cast<double>(tracer.dropped_events());
+    os << ",\n";
+    write_event(os, dropped, 0, 0.0);
   }
   os << "\n]}\n";
   return os.str();
 }
 
-// --- parser -------------------------------------------------------------
-
-namespace {
-
-/// Just enough JSON to read back what the exporter writes. Values are
-/// strings, numbers, objects or arrays; true/false/null are rejected
-/// (the exporter never emits them).
-struct JsonValue {
-  enum class Type { String, Number, Object, Array } type = Type::String;
-  std::string str;
-  double num = 0.0;
-  std::vector<std::pair<std::string, JsonValue>> members;  // objects
-  std::vector<JsonValue> items;                            // arrays
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : members) {
-      if (k == key) return &v;
-    }
-    return nullptr;
+ChromeTrace parse_chrome_json(const std::string& text) {
+  const json::Value doc = json::parse(text, kWhat);
+  if (doc.type != json::Value::Type::Object) {
+    throw core::ParseError(std::string(kWhat) + ": document is not an object");
   }
-};
-
-class JsonCursor {
- public:
-  explicit JsonCursor(const std::string& text) : text_(text) {}
-
-  JsonValue parse_document() {
-    auto v = parse_value();
-    skip_ws();
-    require(pos_ == text_.size(), "trailing characters after document");
-    return v;
-  }
-
- private:
-  void require(bool ok, const std::string& what) {
-    if (!ok) {
-      throw core::ParseError("chrome trace JSON: " + what + " at offset " +
-                             std::to_string(pos_));
-    }
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    require(pos_ < text_.size(), "unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    require(peek() == c, std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      require(pos_ < text_.size(), "unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') break;
-      if (c == '\\') {
-        require(pos_ < text_.size(), "unterminated escape");
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          default: require(false, "unsupported escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    return out;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    JsonValue v;
-    const char c = peek();
-    if (c == '"') {
-      v.type = JsonValue::Type::String;
-      v.str = parse_string();
-    } else if (c == '{') {
-      v.type = JsonValue::Type::Object;
-      ++pos_;
-      skip_ws();
-      if (peek() == '}') {
-        ++pos_;
-        return v;
-      }
-      while (true) {
-        skip_ws();
-        std::string key = parse_string();
-        skip_ws();
-        expect(':');
-        v.members.emplace_back(std::move(key), parse_value());
-        skip_ws();
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect('}');
-        break;
-      }
-    } else if (c == '[') {
-      v.type = JsonValue::Type::Array;
-      ++pos_;
-      skip_ws();
-      if (peek() == ']') {
-        ++pos_;
-        return v;
-      }
-      while (true) {
-        v.items.push_back(parse_value());
-        skip_ws();
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect(']');
-        break;
-      }
-    } else {
-      v.type = JsonValue::Type::Number;
-      const std::size_t start = pos_;
-      while (pos_ < text_.size() &&
-             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-              text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-              text_[pos_] == 'e' || text_[pos_] == 'E')) {
-        ++pos_;
-      }
-      require(pos_ > start, "expected a value");
-      try {
-        v.num = std::stod(text_.substr(start, pos_ - start));
-      } catch (const std::exception&) {
-        require(false, "malformed number");
-      }
-    }
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-const JsonValue& member(const JsonValue& obj, const std::string& key) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr) {
-    throw core::ParseError("chrome trace JSON: missing key '" + key + "'");
-  }
-  return *v;
-}
-
-}  // namespace
-
-ChromeTrace parse_chrome_json(const std::string& json) {
-  const JsonValue doc = JsonCursor(json).parse_document();
-  if (doc.type != JsonValue::Type::Object) {
-    throw core::ParseError("chrome trace JSON: document is not an object");
-  }
-  const JsonValue& events = member(doc, "traceEvents");
-  if (events.type != JsonValue::Type::Array) {
-    throw core::ParseError("chrome trace JSON: traceEvents is not an array");
+  const json::Value& events = json::member(doc, "traceEvents", kWhat);
+  if (events.type != json::Value::Type::Array) {
+    throw core::ParseError(std::string(kWhat) +
+                           ": traceEvents is not an array");
   }
 
   ChromeTrace trace;
-  for (const JsonValue& ev : events.items) {
-    const std::string ph = member(ev, "ph").str;
+  for (const json::Value& ev : events.items) {
+    const std::string ph = json::member(ev, "ph", kWhat).str;
     if (ph.size() != 1) {
-      throw core::ParseError("chrome trace JSON: bad ph '" + ph + "'");
+      throw core::ParseError(std::string(kWhat) + ": bad ph '" + ph + "'");
     }
-    const int tid = static_cast<int>(member(ev, "tid").num);
+    const int tid = static_cast<int>(json::member(ev, "tid", kWhat).num);
     if (ph == "M") {
-      const std::string what = member(ev, "name").str;
-      const std::string value = member(member(ev, "args"), "name").str;
+      const std::string what = json::member(ev, "name", kWhat).str;
+      const std::string value =
+          json::member(json::member(ev, "args", kWhat), "name", kWhat).str;
       if (what == "process_name") {
         trace.process_name = value;
       } else if (what == "thread_name") {
@@ -272,13 +137,15 @@ ChromeTrace parse_chrome_json(const std::string& json) {
     ChromeEvent out;
     out.phase = ph[0];
     out.tid = tid;
-    out.ts_us = member(ev, "ts").num;
-    out.category = member(ev, "cat").str;
-    out.name = member(ev, "name").str;
-    if (const JsonValue* args = ev.find("args")) {
+    out.ts_us = json::member(ev, "ts", kWhat).num;
+    out.category = json::member(ev, "cat", kWhat).str;
+    out.name = json::member(ev, "name", kWhat).str;
+    if (const json::Value* args = ev.find("args")) {
       for (const auto& [k, v] : args->members) {
-        if (v.type == JsonValue::Type::Number) {
+        if (v.type == json::Value::Type::Number) {
           if (k == "value") out.value = v.num;
+        } else if (v.type == json::Value::Type::Bool) {
+          out.args.emplace_back(k, v.boolean ? "true" : "false");
         } else {
           out.args.emplace_back(k, v.str);
         }

@@ -120,6 +120,51 @@ TEST(ArgParser, AccessorsCheckDeclarationAndType) {
   EXPECT_THROW(args.flag("count"), core::InvalidArgument);
 }
 
+ArgParser make_positional_parser() {
+  ArgParser args("prog diff", "Compare two files.");
+  args.add_positional("a", "baseline file", "A");
+  args.add_positional("b", "candidate file", "B");
+  args.add_double("threshold", 10.0, "flag threshold", "PCT");
+  return args;
+}
+
+TEST(ArgParser, PositionalsFillInDeclarationOrder) {
+  auto args = make_positional_parser();
+  parse(args, {"first.json", "--threshold", "5", "second.json"});
+  EXPECT_EQ(args.str("a"), "first.json");
+  EXPECT_EQ(args.str("b"), "second.json");
+  EXPECT_DOUBLE_EQ(args.number("threshold"), 5.0);
+  EXPECT_TRUE(args.given("a"));
+}
+
+TEST(ArgParser, MissingPositionalIsAnError) {
+  auto args = make_positional_parser();
+  try {
+    parse(args, {"only_one.json"});
+    FAIL() << "expected InvalidArgument";
+  } catch (const core::InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("missing required argument"), std::string::npos);
+    EXPECT_NE(msg.find("B"), std::string::npos);
+  }
+}
+
+TEST(ArgParser, SurplusPositionalIsAnError) {
+  auto args = make_positional_parser();
+  EXPECT_THROW(parse(args, {"a.json", "b.json", "c.json"}),
+               core::InvalidArgument);
+}
+
+TEST(ArgParser, HelpSkipsPositionalValidationAndShowsMetavars) {
+  auto args = make_positional_parser();
+  parse(args, {"--help"});  // no positionals given: still no throw
+  EXPECT_TRUE(args.help_requested());
+  const auto page = args.help();
+  EXPECT_NE(page.find("A B"), std::string::npos);
+  EXPECT_NE(page.find("baseline file"), std::string::npos);
+  EXPECT_NE(page.find("arguments:"), std::string::npos);
+}
+
 TEST(SplitCsv, SplitsAndConverts) {
   EXPECT_EQ(core::split_csv("a,b,c"),
             (std::vector<std::string>{"a", "b", "c"}));

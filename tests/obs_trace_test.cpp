@@ -201,4 +201,89 @@ TEST(ChromeTrace, ParserRejectsMalformedInput) {
                mtsched::core::ParseError);
 }
 
+TEST(Trace, EventCapDropsAndCounts) {
+  Tracer tracer;
+  MetricsRegistry metrics;
+  tracer.set_event_cap(3, &metrics);
+  Track root = tracer.root();
+  for (int i = 0; i < 10; ++i) root.instant("cat", "e");
+
+  EXPECT_EQ(tracer.num_events(), 3u);
+  EXPECT_EQ(tracer.dropped_events(), 7u);
+  EXPECT_EQ(tracer.snapshot()[0].events.size(), 3u);
+  EXPECT_DOUBLE_EQ(metrics.counter("trace.dropped_events").value(), 7.0);
+}
+
+TEST(Trace, EventCapZeroMeansUnbounded) {
+  Tracer tracer;
+  Track root = tracer.root();
+  for (int i = 0; i < 100; ++i) root.instant("cat", "e");
+  EXPECT_EQ(tracer.num_events(), 100u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+TEST(Trace, EventCapIsThreadSafe) {
+  Tracer tracer;
+  tracer.set_event_cap(1000);
+  constexpr int kThreads = 8;
+  constexpr int kEvents = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer, t] {
+      Track own = tracer.track("worker " + std::to_string(t));
+      for (int i = 0; i < kEvents; ++i) own.instant("cat", "e");
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(tracer.num_events(), 1000u);
+  EXPECT_EQ(tracer.dropped_events(),
+            static_cast<std::size_t>(kThreads * kEvents - 1000));
+}
+
+TEST(ChromeTrace, ExporterAutoClosesUnbalancedSpans) {
+  Tracer tracer;
+  Track root = tracer.root();
+  root.begin("cat", "outer");
+  root.begin("cat", "inner");
+  root.instant("cat", "tick");
+  // Neither span is ended: the export must heal the trace, innermost
+  // first, with the synthesized Ends marked incomplete.
+  const auto json = to_chrome_json(tracer);
+  const auto parsed = parse_chrome_json(json);
+  ASSERT_EQ(parsed.events.size(), 5u);
+  EXPECT_EQ(parsed.events[3].phase, 'E');
+  EXPECT_EQ(parsed.events[3].name, "inner");
+  ASSERT_EQ(parsed.events[3].args.size(), 1u);
+  EXPECT_EQ(parsed.events[3].args[0].first, "incomplete");
+  EXPECT_EQ(parsed.events[3].args[0].second, "true");
+  EXPECT_EQ(parsed.events[4].phase, 'E');
+  EXPECT_EQ(parsed.events[4].name, "outer");
+}
+
+TEST(ChromeTrace, ExporterEmitsDroppedEventsMarker) {
+  Tracer tracer;
+  tracer.set_event_cap(2);
+  Track root = tracer.root();
+  for (int i = 0; i < 5; ++i) root.instant("cat", "e");
+  const auto parsed = parse_chrome_json(to_chrome_json(tracer));
+  ASSERT_EQ(parsed.events.size(), 3u);
+  const auto& marker = parsed.events.back();
+  EXPECT_EQ(marker.phase, 'C');
+  EXPECT_EQ(marker.name, "trace.dropped_events");
+  EXPECT_DOUBLE_EQ(marker.value, 3.0);
+}
+
+TEST(ChromeTrace, NormalizedAutoCloseKeepsTimestampsStrictlyIncreasing) {
+  Tracer tracer;
+  tracer.root().begin("cat", "a");
+  tracer.root().begin("cat", "b");
+  ChromeTraceOptions opt;
+  opt.normalize_timestamps = true;
+  const auto parsed = parse_chrome_json(to_chrome_json(tracer, opt));
+  ASSERT_EQ(parsed.events.size(), 4u);
+  for (std::size_t i = 1; i < parsed.events.size(); ++i) {
+    EXPECT_LT(parsed.events[i - 1].ts_us, parsed.events[i].ts_us);
+  }
+}
+
 }  // namespace

@@ -3,6 +3,8 @@
 // Run `mtsched_cli` for the command list and `mtsched_cli <command>
 // --help` for the options of one command — every option is declared with
 // type, default and help text through core::ArgParser.
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -22,6 +24,7 @@
 #include "mtsched/exp/results.hpp"
 #include "mtsched/machine/table_machine.hpp"
 #include "mtsched/models/factory.hpp"
+#include "mtsched/obs/analysis.hpp"
 #include "mtsched/obs/chrome_trace.hpp"
 #include "mtsched/obs/metrics.hpp"
 #include "mtsched/obs/sink.hpp"
@@ -200,6 +203,19 @@ void add_obs_options(ArgParser& args) {
                 "replace trace timestamps with per-track event ordinals "
                 "(byte-identical across runs; for diffing)");
   args.add_flag("metrics", "print the metrics registry after the run");
+  args.add_uint64("trace-cap", 0,
+                  "keep at most N trace events; drops are counted in the "
+                  "trace.dropped_events metric (0 = unbounded)",
+                  "N");
+}
+
+/// Applies --trace-cap before any events are emitted.
+void apply_trace_cap(const ArgParser& args, obs::Tracer& tracer,
+                     obs::MetricsRegistry* metrics) {
+  const auto cap = args.uint64("trace-cap");
+  if (cap > 0) {
+    tracer.set_event_cap(static_cast<std::size_t>(cap), metrics);
+  }
 }
 
 void write_trace_file(const ArgParser& args, const obs::Tracer& tracer) {
@@ -283,6 +299,7 @@ int cmd_run(int argc, char** argv) {
   // events to one tracer/registry via the ambient obs context.
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
+  apply_trace_cap(args, tracer, args.flag("metrics") ? &metrics : nullptr);
   const bool tracing = !args.str("trace").empty();
   std::optional<obs::ScopedContext> obs_ctx;
   if (tracing || args.flag("metrics")) {
@@ -403,6 +420,7 @@ int cmd_campaign(int argc, char** argv) {
   }
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
+  apply_trace_cap(args, tracer, args.flag("metrics") ? &metrics : nullptr);
   const bool tracing = !args.str("trace").empty();
   obs::BasicSink sink(tracing ? &tracer : nullptr,
                       args.flag("metrics") ? &metrics : nullptr,
@@ -479,6 +497,63 @@ int cmd_export_machine(int argc, char** argv) {
   return 0;
 }
 
+// --- trace analytics ----------------------------------------------------
+
+obs::TraceProfile load_profile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    throw core::InvalidArgument("cannot open trace file '" + path + "'");
+  }
+  return obs::TraceProfile::from_chrome(obs::parse_chrome_json(read_all(f)));
+}
+
+int cmd_trace_report(int argc, char** argv) {
+  ArgParser args("mtsched_cli trace-report",
+                 "Profile a Chrome trace_event JSON file: per-category and "
+                 "per-span self/total attribution plus the critical path.");
+  args.add_positional("file", "trace file (as written by --trace)", "FILE");
+  args.add_int("top", 20, "span rows to print (0 = all)");
+  if (!parse_or_help(args, argc, argv)) return 0;
+
+  const auto profile = load_profile(args.str("file"));
+  std::cout << obs::render_profile(
+      profile, static_cast<std::size_t>(std::max<std::int64_t>(
+                   0, args.integer("top"))));
+  return 0;
+}
+
+int cmd_trace_diff(int argc, char** argv) {
+  ArgParser args(
+      "mtsched_cli trace-diff",
+      "Compare two Chrome trace files span by span and flag the "
+      "(category, name) pairs whose total time moved beyond the "
+      "threshold. Useful with --trace-normalize'd traces, where times "
+      "are event counts and the diff is structural.");
+  args.add_positional("a", "baseline trace file", "A");
+  args.add_positional("b", "candidate trace file", "B");
+  args.add_double("threshold", 10.0,
+                  "relative change (percent) beyond which a span pair is "
+                  "flagged",
+                  "PCT");
+  args.add_double("abs-threshold", 0.0,
+                  "ignore changes smaller than this many seconds",
+                  "SECONDS");
+  args.add_int("top", 30, "per-pair rows to print (0 = all)");
+  args.add_flag("gate", "exit with status 1 when any pair is flagged");
+  if (!parse_or_help(args, argc, argv)) return 0;
+
+  obs::TraceDiffOptions opt;
+  opt.rel_threshold = args.number("threshold") / 100.0;
+  opt.abs_threshold_seconds = args.number("abs-threshold");
+  const auto diff =
+      obs::TraceDiff::between(load_profile(args.str("a")),
+                              load_profile(args.str("b")), opt);
+  std::cout << obs::render_diff(
+      diff, static_cast<std::size_t>(std::max<std::int64_t>(
+                0, args.integer("top"))));
+  return args.flag("gate") && !diff.flagged.empty() ? 1 : 0;
+}
+
 constexpr Command kCommands[] = {
     {"gen-dag", "generate a Table I style random DAG", cmd_gen_dag},
     {"gen-daggen", "generate a DAGGEN-style layered DAG", cmd_gen_daggen},
@@ -493,6 +568,10 @@ constexpr Command kCommands[] = {
      cmd_campaign},
     {"export-machine", "dump the built-in cluster measurement tables",
      cmd_export_machine},
+    {"trace-report", "profile a trace: attribution + critical path",
+     cmd_trace_report},
+    {"trace-diff", "compare two traces and flag perf regressions",
+     cmd_trace_diff},
 };
 
 [[noreturn]] void usage(const std::string& error) {
