@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_*.json report against a committed baseline.
+
+Compares items_per_second of selected benchmark cases against the
+committed baseline values and fails when the current build falls below
+``baseline / slack``. The slack is deliberately generous (default 5x):
+the gate is machine-robust — CI runners and developer laptops differ by
+tens of percent, not multiples — while still catching the
+order-of-magnitude cliffs that reverting an incremental hot path causes
+(the event-calendar engine and the delta CPA skeleton are both >5x).
+
+Usage:
+  check_baseline.py BASELINE.json CURRENT.json CASE_PREFIX [...] [--slack X]
+"""
+
+import json
+import sys
+
+
+def load_throughput(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "mtsched.bench.v1":
+        sys.exit(f"{path}: unexpected schema {report.get('schema')!r}")
+    return {row["name"]: row["items_per_second"]
+            for row in report.get("throughput", [])}
+
+
+def main(argv):
+    slack = 5.0
+    if "--slack" in argv:
+        i = argv.index("--slack")
+        slack = float(argv[i + 1])
+        del argv[i:i + 2]
+    if len(argv) < 4:
+        sys.exit(__doc__)
+    baseline = load_throughput(argv[1])
+    current = load_throughput(argv[2])
+    prefixes = argv[3:]
+
+    checked = 0
+    failures = []
+    for name, base_ips in sorted(baseline.items()):
+        if not any(name.startswith(p) for p in prefixes):
+            continue
+        if name not in current:
+            failures.append(f"{name}: missing from current report")
+            continue
+        cur_ips = current[name]
+        floor = base_ips / slack
+        verdict = "ok" if cur_ips >= floor else "REGRESSION"
+        print(f"{name}: {cur_ips:,.0f} items/s "
+              f"(baseline {base_ips:,.0f}, floor {floor:,.0f}) {verdict}")
+        if cur_ips < floor:
+            failures.append(
+                f"{name}: {cur_ips:,.0f} items/s is below the {floor:,.0f} "
+                f"floor ({slack:g}x slack on the committed baseline)")
+        checked += 1
+    if checked == 0:
+        failures.append(
+            f"no baseline case matched prefixes {prefixes} — wrong filter?")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -35,18 +35,25 @@ void BM_Allocation(benchmark::State& state, const std::string& algo_name) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
+// The n=2000 points are the scaling guard for the incremental CPA
+// skeleton (cached topological order, delta top/bottom level updates and
+// memoized task-time curves): they must stay ~linear in the number of
+// growth iterations rather than quadratic.
 BENCHMARK_CAPTURE(BM_Allocation, cpa, std::string("CPA"))
     ->Arg(10)
     ->Arg(50)
-    ->Arg(200);
+    ->Arg(200)
+    ->Arg(2000);
 BENCHMARK_CAPTURE(BM_Allocation, hcpa, std::string("HCPA"))
     ->Arg(10)
     ->Arg(50)
-    ->Arg(200);
+    ->Arg(200)
+    ->Arg(2000);
 BENCHMARK_CAPTURE(BM_Allocation, mcpa, std::string("MCPA"))
     ->Arg(10)
     ->Arg(50)
-    ->Arg(200);
+    ->Arg(200)
+    ->Arg(2000);
 
 void BM_TwoStepPipeline(benchmark::State& state) {
   const auto inst = big_dag(static_cast<int>(state.range(0)), 5);

@@ -88,6 +88,40 @@ void BM_PtaskStorm(benchmark::State& state) {
 }
 BENCHMARK(BM_PtaskStorm)->Arg(32)->Arg(256)->Arg(1024);
 
+// Scaling guard for the incremental engine: a large concurrent working
+// set (1000+ activities alive at once) mixing timers with single-resource
+// work. Timer expiries leave the working set's usage unchanged, so the
+// engine may reuse the previous max-min rates; the per-event cost is one
+// fused pass over the activity slab instead of repeated full-map scans
+// plus a from-scratch solve.
+void BM_EngineActiveScaling(benchmark::State& state) {
+  const auto n = state.range(0);
+  constexpr int kResources = 32;
+  for (auto _ : state) {
+    core::Rng rng(23);
+    simcore::Engine e;
+    std::vector<simcore::ResourceId> res;
+    for (int r = 0; r < kResources; ++r) {
+      res.push_back(e.add_resource(100.0));
+    }
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (i % 8 == 0) {
+        // A work activity pinned to one resource.
+        std::vector<simcore::Use> uses{
+            simcore::Use{res[static_cast<std::size_t>(i) % kResources],
+                         rng.uniform(0.5, 2.0)}};
+        e.submit(std::move(uses), rng.uniform(10.0, 100.0), 0.0, nullptr);
+      } else {
+        e.submit_timer(rng.uniform(1.0, 100.0), nullptr);
+      }
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.now());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineActiveScaling)->Arg(1000)->Arg(4000);
+
 }  // namespace
 
 int main(int argc, char** argv) {

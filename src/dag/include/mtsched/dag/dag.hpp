@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,8 +50,20 @@ struct Edge {
 };
 
 /// Immutable-after-build task graph with adjacency in both directions.
+///
+/// Derived topology (topological order, precedence levels, level count) is
+/// computed once on first use and cached; add_task()/add_edge() invalidate
+/// the cache. First-use computation is thread-safe — concurrent schedulers
+/// may share one const Dag — but mutation must not race with readers (the
+/// same contract the cache-free implementation had).
 class Dag {
  public:
+  Dag() = default;
+  Dag(const Dag& other);
+  Dag(Dag&& other) noexcept;
+  Dag& operator=(const Dag& other);
+  Dag& operator=(Dag&& other) noexcept;
+
   /// Adds a task with the given kernel and matrix dimension; returns its id.
   TaskId add_task(TaskKernel kernel, int matrix_dim, std::string name = {});
 
@@ -72,11 +86,13 @@ class Dag {
   std::vector<TaskId> exit_tasks() const;
 
   /// Topological order (Kahn). Throws core::InvalidArgument on cycles.
-  std::vector<TaskId> topological_order() const;
+  /// The reference stays valid until the next add_task()/add_edge().
+  const std::vector<TaskId>& topological_order() const;
 
   /// Precedence level of every task: entry tasks are level 0, any other
-  /// task is 1 + max level over its predecessors. Used by MCPA.
-  std::vector<int> precedence_levels() const;
+  /// task is 1 + max level over its predecessors. Used by MCPA. The
+  /// reference stays valid until the next add_task()/add_edge().
+  const std::vector<int>& precedence_levels() const;
 
   /// Number of distinct precedence levels.
   int num_levels() const;
@@ -88,10 +104,23 @@ class Dag {
   double edge_bytes(const Edge& e) const;
 
  private:
+  /// Lazily computed derived topology, shared between Dag copies (it only
+  /// depends on the immutable structure it was computed from).
+  struct TopoCache {
+    std::vector<TaskId> order;
+    std::vector<int> levels;
+    int num_levels = 0;
+  };
+
+  const TopoCache& topo() const;
+
   std::vector<Task> tasks_;
   std::vector<Edge> edges_;
   std::vector<std::vector<TaskId>> preds_;
   std::vector<std::vector<TaskId>> succs_;
+
+  mutable std::mutex topo_mu_;
+  mutable std::shared_ptr<const TopoCache> topo_cache_;
 };
 
 }  // namespace mtsched::dag

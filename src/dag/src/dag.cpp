@@ -29,8 +29,42 @@ double kernel_flops(TaskKernel k, int n) {
   return 0.0;
 }
 
+Dag::Dag(const Dag& other)
+    : tasks_(other.tasks_),
+      edges_(other.edges_),
+      preds_(other.preds_),
+      succs_(other.succs_) {
+  const std::scoped_lock lock(other.topo_mu_);
+  topo_cache_ = other.topo_cache_;  // immutable, safe to share
+}
+
+Dag::Dag(Dag&& other) noexcept
+    : tasks_(std::move(other.tasks_)),
+      edges_(std::move(other.edges_)),
+      preds_(std::move(other.preds_)),
+      succs_(std::move(other.succs_)),
+      topo_cache_(std::move(other.topo_cache_)) {}
+
+Dag& Dag::operator=(const Dag& other) {
+  if (this != &other) {
+    Dag copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+Dag& Dag::operator=(Dag&& other) noexcept {
+  tasks_ = std::move(other.tasks_);
+  edges_ = std::move(other.edges_);
+  preds_ = std::move(other.preds_);
+  succs_ = std::move(other.succs_);
+  topo_cache_ = std::move(other.topo_cache_);
+  return *this;
+}
+
 TaskId Dag::add_task(TaskKernel kernel, int matrix_dim, std::string name) {
   MTSCHED_REQUIRE(matrix_dim > 0, "matrix dimension must be positive");
+  topo_cache_.reset();  // mutation invalidates the derived topology
   Task t;
   t.id = static_cast<TaskId>(tasks_.size());
   t.kernel = kernel;
@@ -51,6 +85,7 @@ void Dag::add_edge(TaskId src, TaskId dst) {
   const auto& out = succs_[src];
   MTSCHED_REQUIRE(std::find(out.begin(), out.end(), dst) == out.end(),
                   "duplicate edge");
+  topo_cache_.reset();  // mutation invalidates the derived topology
   edges_.push_back(Edge{src, dst});
   succs_[src].push_back(dst);
   preds_[dst].push_back(src);
@@ -85,41 +120,52 @@ std::vector<TaskId> Dag::exit_tasks() const {
   return out;
 }
 
-std::vector<TaskId> Dag::topological_order() const {
+const Dag::TopoCache& Dag::topo() const {
+  const std::scoped_lock lock(topo_mu_);
+  if (topo_cache_) return *topo_cache_;
+
+  auto cache = std::make_shared<TopoCache>();
   std::vector<std::size_t> indeg(tasks_.size(), 0);
   for (const auto& e : edges_) ++indeg[e.dst];
   // Deterministic order: among ready tasks, smallest id first.
   std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
   for (const auto& t : tasks_)
     if (indeg[t.id] == 0) ready.push(t.id);
-  std::vector<TaskId> order;
-  order.reserve(tasks_.size());
+  cache->order.reserve(tasks_.size());
   while (!ready.empty()) {
     const TaskId id = ready.top();
     ready.pop();
-    order.push_back(id);
+    cache->order.push_back(id);
     for (TaskId s : succs_[id]) {
       if (--indeg[s] == 0) ready.push(s);
     }
   }
-  MTSCHED_REQUIRE(order.size() == tasks_.size(), "DAG contains a cycle");
-  return order;
-}
+  MTSCHED_REQUIRE(cache->order.size() == tasks_.size(), "DAG contains a cycle");
 
-std::vector<int> Dag::precedence_levels() const {
-  const auto order = topological_order();
-  std::vector<int> level(tasks_.size(), 0);
-  for (TaskId id : order) {
-    for (TaskId p : preds_[id]) level[id] = std::max(level[id], level[p] + 1);
+  cache->levels.assign(tasks_.size(), 0);
+  for (const TaskId id : cache->order) {
+    for (const TaskId p : preds_[id]) {
+      cache->levels[id] = std::max(cache->levels[id], cache->levels[p] + 1);
+    }
   }
-  return level;
+  cache->num_levels =
+      tasks_.empty()
+          ? 0
+          : *std::max_element(cache->levels.begin(), cache->levels.end()) + 1;
+
+  topo_cache_ = std::move(cache);
+  return *topo_cache_;
 }
 
-int Dag::num_levels() const {
-  if (tasks_.empty()) return 0;
-  const auto levels = precedence_levels();
-  return *std::max_element(levels.begin(), levels.end()) + 1;
+const std::vector<TaskId>& Dag::topological_order() const {
+  return topo().order;
 }
+
+const std::vector<int>& Dag::precedence_levels() const {
+  return topo().levels;
+}
+
+int Dag::num_levels() const { return topo().num_levels; }
 
 void Dag::validate() const { (void)topological_order(); }
 

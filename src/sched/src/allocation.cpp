@@ -25,34 +25,165 @@ std::vector<double> task_times(const dag::Dag& g, const SchedCost& cost,
   return tau;
 }
 
-struct Levels {
-  std::vector<double> top;     ///< longest path length ending before t
-  std::vector<double> bottom;  ///< longest path length from t inclusive
-  double t_cp = 0.0;
+/// Memoized cost.task_time(t, p) curve. CPA's candidate scan re-queries
+/// the same critical-path points every growth iteration and HCPA's
+/// efficiency envelope re-evaluates the same (t, p) pairs; cost models are
+/// pure functions of (task, p), so each point is computed at most once.
+class TaskTimeMemo {
+ public:
+  TaskTimeMemo(const dag::Dag& g, const SchedCost& cost, int P)
+      : g_(g),
+        cost_(cost),
+        stride_(static_cast<std::size_t>(P) + 1),
+        memo_(g.num_tasks() * stride_,
+              std::numeric_limits<double>::quiet_NaN()) {}
+
+  /// tau(t, p) for p in [1, P].
+  double operator()(dag::TaskId t, int p) const {
+    double& slot = memo_[t * stride_ + static_cast<std::size_t>(p)];
+    if (std::isnan(slot)) slot = cost_.task_time(g_.task(t), p);
+    return slot;
+  }
+
+ private:
+  const dag::Dag& g_;
+  const SchedCost& cost_;
+  std::size_t stride_;
+  mutable std::vector<double> memo_;
 };
 
 /// Top/bottom levels with zero edge weights (classic CPA uses computation
-/// times only during allocation).
-Levels levels(const dag::Dag& g, const std::vector<double>& tau) {
-  Levels lv;
-  lv.top.assign(g.num_tasks(), 0.0);
-  lv.bottom.assign(g.num_tasks(), 0.0);
-  const auto order = g.topological_order();
-  for (dag::TaskId t : order) {
-    for (dag::TaskId p : g.predecessors(t)) {
-      lv.top[t] = std::max(lv.top[t], lv.top[p] + tau[p]);
+/// times only during allocation), maintained incrementally: after a single
+/// task's tau changes, only tasks whose level actually moves are revisited
+/// — descendants for top levels, ancestors for bottom levels. Every
+/// recomputed level evaluates the exact expressions of the full
+/// rebuild over the same operands, so the incremental values are
+/// bit-identical to recomputing from scratch.
+class LevelTracker {
+ public:
+  explicit LevelTracker(const dag::Dag& g) : order_(g.topological_order()) {
+    const std::size_t n = g.num_tasks();
+    pos_.assign(n, 0);
+    for (std::size_t i = 0; i < order_.size(); ++i) pos_[order_[i]] = i;
+    // Flat CSR adjacency: the relaxation loops below are the hot spot and
+    // must not pay per-call bounds checks or vector-of-vector indirection.
+    pred_off_.assign(n + 1, 0);
+    succ_off_.assign(n + 1, 0);
+    for (dag::TaskId t = 0; t < n; ++t) {
+      pred_off_[t + 1] = pred_off_[t] + g.predecessors(t).size();
+      succ_off_[t + 1] = succ_off_[t] + g.successors(t).size();
+    }
+    pred_.reserve(pred_off_[n]);
+    succ_.reserve(succ_off_[n]);
+    for (dag::TaskId t = 0; t < n; ++t) {
+      for (const dag::TaskId p : g.predecessors(t)) pred_.push_back(p);
+      for (const dag::TaskId s : g.successors(t)) succ_.push_back(s);
+    }
+    top_.assign(n, 0.0);
+    bottom_.assign(n, 0.0);
+    dirty_.assign(n, 0);
+  }
+
+  void rebuild(const std::vector<double>& tau) {
+    std::fill(top_.begin(), top_.end(), 0.0);
+    for (const dag::TaskId t : order_) {
+      double nt = 0.0;
+      for (std::size_t e = pred_off_[t]; e < pred_off_[t + 1]; ++e) {
+        const dag::TaskId p = pred_[e];
+        nt = std::max(nt, top_[p] + tau[p]);
+      }
+      top_[t] = nt;
+    }
+    t_cp_ = 0.0;
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      const dag::TaskId t = *it;
+      double nb = tau[t];
+      for (std::size_t e = succ_off_[t]; e < succ_off_[t + 1]; ++e) {
+        nb = std::max(nb, tau[t] + bottom_[succ_[e]]);
+      }
+      bottom_[t] = nb;
+      t_cp_ = std::max(t_cp_, top_[t] + bottom_[t]);
     }
   }
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const dag::TaskId t = *it;
-    lv.bottom[t] = tau[t];
-    for (dag::TaskId s : g.successors(t)) {
-      lv.bottom[t] = std::max(lv.bottom[t], tau[t] + lv.bottom[s]);
+
+  /// Refreshes the levels after tau[changed] was updated. Dirty tasks are
+  /// visited by sweeping topological positions (ascending for top levels,
+  /// descending for bottom levels) over a dirty-flag array: a successor is
+  /// always at a higher position than its predecessor, so one directional
+  /// sweep settles every affected task, and tasks whose recomputed level
+  /// is unchanged stop the propagation.
+  void update(dag::TaskId changed, const std::vector<double>& tau) {
+    const std::size_t n = pos_.size();
+    // Downstream: top levels of affected descendants.
+    std::size_t lo = n, hi = 0;
+    for (std::size_t e = succ_off_[changed]; e < succ_off_[changed + 1];
+         ++e) {
+      const std::size_t sp = pos_[succ_[e]];
+      dirty_[sp] = 1;
+      lo = std::min(lo, sp);
+      hi = std::max(hi, sp + 1);
     }
-    lv.t_cp = std::max(lv.t_cp, lv.top[t] + lv.bottom[t]);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!dirty_[i]) continue;
+      dirty_[i] = 0;
+      const dag::TaskId t = order_[i];
+      double nt = 0.0;
+      for (std::size_t e = pred_off_[t]; e < pred_off_[t + 1]; ++e) {
+        const dag::TaskId p = pred_[e];
+        nt = std::max(nt, top_[p] + tau[p]);
+      }
+      if (nt != top_[t]) {
+        top_[t] = nt;
+        for (std::size_t e = succ_off_[t]; e < succ_off_[t + 1]; ++e) {
+          const std::size_t sp = pos_[succ_[e]];
+          dirty_[sp] = 1;
+          hi = std::max(hi, sp + 1);
+        }
+      }
+    }
+    // Upstream: bottom level of the changed task itself, then affected
+    // ancestors.
+    std::size_t up_hi = pos_[changed];
+    std::size_t up_lo = up_hi;
+    dirty_[up_hi] = 1;
+    for (std::size_t i = up_hi + 1; i-- > up_lo;) {
+      if (!dirty_[i]) continue;
+      dirty_[i] = 0;
+      const dag::TaskId t = order_[i];
+      double nb = tau[t];
+      for (std::size_t e = succ_off_[t]; e < succ_off_[t + 1]; ++e) {
+        nb = std::max(nb, tau[t] + bottom_[succ_[e]]);
+      }
+      if (nb != bottom_[t]) {
+        bottom_[t] = nb;
+        for (std::size_t e = pred_off_[t]; e < pred_off_[t + 1]; ++e) {
+          up_lo = std::min(up_lo, pos_[pred_[e]]);
+          dirty_[pos_[pred_[e]]] = 1;
+        }
+      }
+    }
+    // The critical path is a plain max over the refreshed levels — exact
+    // and order-independent, so the O(n) scan needs no bookkeeping.
+    t_cp_ = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      t_cp_ = std::max(t_cp_, top_[t] + bottom_[t]);
+    }
   }
-  return lv;
-}
+
+  double top(dag::TaskId t) const { return top_[t]; }
+  double bottom(dag::TaskId t) const { return bottom_[t]; }
+  double t_cp() const { return t_cp_; }
+
+ private:
+  const std::vector<dag::TaskId>& order_;  ///< cached in the Dag
+  std::vector<std::size_t> pos_;
+  std::vector<std::size_t> pred_off_, succ_off_;
+  std::vector<dag::TaskId> pred_, succ_;
+  std::vector<double> top_;     ///< longest path length ending before t
+  std::vector<double> bottom_;  ///< longest path length from t inclusive
+  double t_cp_ = 0.0;
+  std::vector<std::uint8_t> dirty_;  ///< indexed by topological position
+};
 
 double average_area(const dag::Dag& g, const SchedCost& cost,
                     const std::vector<int>& alloc, int P) {
@@ -68,21 +199,37 @@ double average_area(const dag::Dag& g, const SchedCost& cost,
 using GrowGate = std::function<bool(dag::TaskId, int /*new_p*/)>;
 using OnGrow = std::function<void(dag::TaskId)>;
 
-std::vector<int> cpa_skeleton(const dag::Dag& g, const SchedCost& cost, int P,
-                              const GrowGate& may_grow,
+std::vector<int> cpa_skeleton(const dag::Dag& g, int P,
+                              const TaskTimeMemo& tt, const GrowGate& may_grow,
                               const OnGrow& on_grow = {}) {
   MTSCHED_REQUIRE(P >= 1, "cluster must have at least one processor");
   MTSCHED_REQUIRE(g.num_tasks() > 0, "cannot allocate an empty DAG");
-  std::vector<int> alloc(g.num_tasks(), 1);
-  auto tau = task_times(g, cost, alloc);
+  const std::size_t n = g.num_tasks();
+  std::vector<int> alloc(n, 1);
+  std::vector<double> tau(n);
+  for (dag::TaskId t = 0; t < n; ++t) {
+    tau[t] = tt(t, 1);
+    MTSCHED_INVARIANT(tau[t] > 0.0, "task time must be positive");
+  }
+  LevelTracker lv(g);
+  lv.rebuild(tau);
+  // Average-area terms alloc[t] * tau(t, alloc[t]); only the grown task's
+  // term changes per iteration, but t_a is still the same ordered sum the
+  // term-by-term recomputation produced.
+  std::vector<double> area_term(n);
+  for (dag::TaskId t = 0; t < n; ++t) {
+    area_term[t] = static_cast<double>(alloc[t]) * tau[t];
+  }
 
   // Each iteration adds one processor to one task; the loop is bounded by
   // the total allocation head-room.
-  const std::size_t max_iter = g.num_tasks() * static_cast<std::size_t>(P);
+  const std::size_t max_iter = n * static_cast<std::size_t>(P);
   for (std::size_t iter = 0; iter < max_iter; ++iter) {
-    const auto lv = levels(g, tau);
-    const double t_a = average_area(g, cost, alloc, P);
-    if (lv.t_cp <= t_a + kEps) break;  // work-bound: stop growing
+    double area = 0.0;
+    for (dag::TaskId t = 0; t < n; ++t) area += area_term[t];
+    const double t_a = area / static_cast<double>(P);
+    const double t_cp = lv.t_cp();
+    if (t_cp <= t_a + kEps) break;  // work-bound: stop growing
 
     // Candidate: the critical-path task with the largest gain. As in the
     // original CPA, the gain may be small or even negative on bumpy cost
@@ -90,12 +237,12 @@ std::vector<int> cpa_skeleton(const dag::Dag& g, const SchedCost& cost, int P,
     // is exactly how CPA comes to over-allocate.
     dag::TaskId best = dag::kInvalidTask;
     double best_gain = -std::numeric_limits<double>::infinity();
-    for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
-      if (lv.top[t] + lv.bottom[t] < lv.t_cp - 1e-9 * lv.t_cp) continue;
+    for (dag::TaskId t = 0; t < n; ++t) {
+      if (lv.top(t) + lv.bottom(t) < t_cp - 1e-9 * t_cp) continue;
       if (alloc[t] >= P) continue;
       const int np = alloc[t] + 1;
       if (!may_grow(t, np)) continue;
-      const double tau_new = cost.task_time(g.task(t), np);
+      const double tau_new = tt(t, np);
       const double gain = tau[t] / static_cast<double>(alloc[t]) -
                           tau_new / static_cast<double>(np);
       if (gain > best_gain + kEps) {
@@ -105,7 +252,9 @@ std::vector<int> cpa_skeleton(const dag::Dag& g, const SchedCost& cost, int P,
     }
     if (best == dag::kInvalidTask) break;  // nothing can usefully grow
     alloc[best] += 1;
-    tau[best] = cost.task_time(g.task(best), alloc[best]);
+    tau[best] = tt(best, alloc[best]);
+    area_term[best] = static_cast<double>(alloc[best]) * tau[best];
+    lv.update(best, tau);
     if (on_grow) on_grow(best);
   }
   return alloc;
@@ -118,8 +267,10 @@ CpaMetrics cpa_metrics(const dag::Dag& g, const SchedCost& cost,
   MTSCHED_REQUIRE(alloc.size() == g.num_tasks(),
                   "allocation vector size mismatch");
   const auto tau = task_times(g, cost, alloc);
+  LevelTracker lv(g);
+  lv.rebuild(tau);
   CpaMetrics m;
-  m.t_cp = levels(g, tau).t_cp;
+  m.t_cp = lv.t_cp();
   m.t_a = average_area(g, cost, alloc, P);
   return m;
 }
@@ -130,7 +281,8 @@ std::vector<int> CpaAllocator::allocate(const dag::Dag& g,
                            "allocate:" + name(),
                            {{"tasks", std::to_string(g.num_tasks())},
                             {"P", std::to_string(P)}});
-  return cpa_skeleton(g, cost, P, [](dag::TaskId, int) { return true; });
+  const TaskTimeMemo tt(g, cost, P);
+  return cpa_skeleton(g, P, tt, [](dag::TaskId, int) { return true; });
 }
 
 HcpaAllocator::HcpaAllocator(double min_efficiency)
@@ -151,7 +303,7 @@ std::vector<int> HcpaAllocator::allocate(const dag::Dag& g,
   // offer. The cap binds under every cost model, including the analytical
   // one whose ideal speedup curves never trip the efficiency gate; this is
   // what makes HCPA's allocations structurally smaller than MCPA's.
-  const auto levels = g.precedence_levels();
+  const auto& levels = g.precedence_levels();
   std::vector<int> width(static_cast<std::size_t>(g.num_levels()), 0);
   for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
     ++width[static_cast<std::size_t>(levels[t])];
@@ -160,19 +312,15 @@ std::vector<int> HcpaAllocator::allocate(const dag::Dag& g,
   const int cap = std::max(
       1, static_cast<int>(std::ceil(static_cast<double>(P) /
                                     static_cast<double>(omega))));
-  // Cache tau(t, 1) for the efficiency gate.
-  std::vector<double> tau1(g.num_tasks());
-  for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
-    tau1[t] = cost.task_time(g.task(t), 1);
-  }
+  const TaskTimeMemo tt(g, cost, P);
   const double min_eff = min_efficiency_;
-  return cpa_skeleton(g, cost, P, [&](dag::TaskId t, int np) {
+  return cpa_skeleton(g, P, tt, [&](dag::TaskId t, int np) {
     if (np > cap) return false;
     // Envelope check: growth stops only on *sustained* inefficiency. A
     // single inefficient point (e.g. a p = 8 cache outlier in a profiled
     // cost curve) does not wall off all larger allocations.
     const auto eff = [&](int p) {
-      return tau1[t] / (static_cast<double>(p) * cost.task_time(g.task(t), p));
+      return tt(t, 1) / (static_cast<double>(p) * tt(t, p));
     };
     if (eff(np) >= min_eff) return true;
     return np < P && eff(np + 1) >= min_eff;
@@ -185,7 +333,7 @@ std::vector<int> McpaAllocator::allocate(const dag::Dag& g,
                            "allocate:" + name(),
                            {{"tasks", std::to_string(g.num_tasks())},
                             {"P", std::to_string(P)}});
-  const auto level = g.precedence_levels();
+  const auto& level = g.precedence_levels();
   const int num_levels = g.num_levels();
   // Running total allocation per precedence level (starts at one processor
   // per task, matching the skeleton's initial allocation).
@@ -193,8 +341,9 @@ std::vector<int> McpaAllocator::allocate(const dag::Dag& g,
   for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
     ++level_total[static_cast<std::size_t>(level[t])];
   }
+  const TaskTimeMemo tt(g, cost, P);
   return cpa_skeleton(
-      g, cost, P,
+      g, P, tt,
       [&](dag::TaskId t, int) {
         return level_total[static_cast<std::size_t>(level[t])] < P;
       },

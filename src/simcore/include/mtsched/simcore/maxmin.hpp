@@ -7,9 +7,22 @@
 // max-min fair: rates are raised uniformly until some resource saturates,
 // activities bottlenecked there are frozen, and filling continues for the
 // rest. The result is Pareto-optimal and unique.
+//
+// Two entry points share the algorithm:
+//   * solve_max_min() — one-shot, validating, allocates its own workspace.
+//     Kept for tests and ad-hoc callers.
+//   * MaxMinSolver — the engine's hot path. Holds per-resource load and
+//     free-capacity accumulators plus the shrinking unfrozen-activity list
+//     across rounds *and across solves*, so a solve allocates nothing and
+//     each filling round touches only still-unfrozen activities and the
+//     resources they load (instead of refilling every resource from zero
+//     against the full activity list). The arithmetic is identical to the
+//     one-shot path operation for operation — same summation order, same
+//     comparisons — so both produce bit-identical rates.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace mtsched::simcore {
@@ -24,6 +37,29 @@ struct Use {
 struct MaxMinProblem {
   std::vector<double> capacities;
   std::vector<std::vector<Use>> activities;  ///< usage list per activity
+};
+
+/// Reusable progressive-filling solver. Inputs are borrowed views: the
+/// capacity vector and one usage-list pointer per activity (nullptr is not
+/// allowed; pass a pointer to an empty vector for usage-free activities).
+/// Inputs are NOT validated here — callers must guarantee positive
+/// capacities/weights and in-range resource indices (the engine checks
+/// them once at add_resource()/submit() time).
+class MaxMinSolver {
+ public:
+  /// Solves for the max-min fair rates of `activities` against
+  /// `capacities`, writing one rate per activity into `rates` (resized).
+  /// Activities with an empty usage list receive an infinite rate.
+  void solve(const std::vector<double>& capacities,
+             const std::vector<const std::vector<Use>*>& activities,
+             std::vector<double>& rates);
+
+ private:
+  std::vector<double> free_cap_;        ///< capacity minus frozen usage
+  std::vector<double> load_;            ///< unfrozen weight sums (sparse)
+  std::vector<std::uint8_t> binding_;   ///< saturated-this-round flags
+  std::vector<std::size_t> touched_;    ///< resources with load > 0
+  std::vector<std::size_t> unfrozen_;   ///< activity indices, ascending
 };
 
 /// Solves for the max-min fair rates. Activities with an empty usage list

@@ -15,7 +15,11 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kEps = 1e-12;
 }  // namespace
 
-Engine::Engine() : trace_(obs::current_track()) {
+Engine::Engine()
+    : trace_(obs::current_track()),
+      delay_min_(kInf),
+      work_min_(kInf),
+      submit_min_(kInf) {
   if (obs::MetricsRegistry* m = obs::current_metrics()) {
     events_counter_ = &m->counter("simcore.events");
     reshares_counter_ = &m->counter("simcore.reshares");
@@ -56,22 +60,49 @@ ActivityId Engine::submit(std::vector<Use> uses, double amount, double delay,
     MTSCHED_REQUIRE(u.resource < capacities_.size(), "unknown resource");
     MTSCHED_REQUIRE(u.weight > 0.0, "usage weight must be positive");
   }
-  Activity a;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Activity& a = slab_[slot];
   a.id = next_id_++;
   a.name = std::move(name);
   a.uses = std::move(uses);
   a.remaining_amount = amount;
   a.remaining_delay = delay;
   a.in_delay = delay > 0.0;
+  a.rate = 0.0;
   a.on_complete = std::move(on_complete);
-  const ActivityId id = a.id;
-  const auto it = active_.emplace(id, std::move(a)).first;
+  order_.push_back(slot);  // ids are monotonic: order_ stays id-sorted
   rates_dirty_ = true;
-  if (trace_) {
-    trace_state(it->second, "submitted");
-    trace_.counter("simcore", "active", static_cast<double>(active_.size()));
+
+  // Event-calendar candidate, exactly what a full next-event scan would
+  // contribute for this activity.
+  if (a.in_delay) {
+    submit_min_ = std::min(submit_min_, a.remaining_delay);
+  } else {
+    ++num_working_;
+    if (a.uses.empty()) {
+      a.rate = kInf;  // what the solver reports for usage-free activities
+      submit_min_ = 0.0;
+    } else if (a.remaining_amount <= kEps) {
+      solve_dirty_ = true;
+      submit_min_ = 0.0;
+    } else {
+      // Finite candidate: produced by the solve scheduled right here.
+      solve_dirty_ = true;
+    }
   }
-  return id;
+
+  if (trace_) {
+    trace_state(a, "submitted");
+    trace_.counter("simcore", "active", static_cast<double>(order_.size()));
+  }
+  return a.id;
 }
 
 ActivityId Engine::submit_timer(double duration, CompletionFn on_complete,
@@ -79,99 +110,137 @@ ActivityId Engine::submit_timer(double duration, CompletionFn on_complete,
   return submit({}, 0.0, duration, std::move(on_complete), std::move(name));
 }
 
-void Engine::recompute_rates() {
-  MaxMinProblem prob;
-  prob.capacities = capacities_;
-  std::vector<Activity*> working;
-  for (auto& [id, a] : active_) {
-    if (!a.in_delay) {
-      working.push_back(&a);
-      prob.activities.push_back(a.uses);
-    } else {
-      a.rate = 0.0;
+void Engine::reshare() {
+  if (solve_dirty_) {
+    solver_acts_.clear();
+    working_slots_.clear();
+    for (const std::uint32_t slot : order_) {
+      Activity& a = slab_[slot];
+      if (a.in_delay || a.uses.empty()) continue;
+      solver_acts_.push_back(&a.uses);
+      working_slots_.push_back(slot);
     }
-  }
-  if (!working.empty()) {
-    const auto rates = solve_max_min(prob);
-    for (std::size_t i = 0; i < working.size(); ++i) working[i]->rate = rates[i];
+    if (!solver_acts_.empty()) {
+      solver_.solve(capacities_, solver_acts_, solver_rates_);
+      for (std::size_t i = 0; i < working_slots_.size(); ++i) {
+        slab_[working_slots_[i]].rate = solver_rates_[i];
+      }
+    }
+    solve_dirty_ = false;
+    // Rates moved: refresh the work-phase event lookahead from scratch.
+    work_min_ = kInf;
+    for (const std::uint32_t slot : order_) {
+      const Activity& a = slab_[slot];
+      if (a.in_delay) continue;
+      if (a.remaining_amount <= kEps || a.uses.empty() ||
+          std::isinf(a.rate)) {
+        work_min_ = 0.0;  // completes immediately
+      } else {
+        MTSCHED_INVARIANT(a.rate > 0.0, "working activity has zero rate");
+        work_min_ = std::min(work_min_, a.remaining_amount / a.rate);
+      }
+    }
   }
   rates_dirty_ = false;
   if (reshares_counter_ != nullptr) reshares_counter_->add();
   if (trace_) {
     trace_.instant("simcore", "reshare",
-                   {{"working", std::to_string(working.size())},
+                   {{"working", std::to_string(num_working_)},
                     {"vt", core::fmt_roundtrip(now_)}});
   }
 }
 
-double Engine::next_event_dt() const {
-  double dt = kInf;
-  for (const auto& [id, a] : active_) {
-    if (a.in_delay) {
-      dt = std::min(dt, a.remaining_delay);
-    } else if (a.remaining_amount <= kEps || a.uses.empty() ||
-               std::isinf(a.rate)) {
-      dt = 0.0;  // completes immediately
-    } else {
-      MTSCHED_INVARIANT(a.rate > 0.0, "working activity has zero rate");
-      dt = std::min(dt, a.remaining_amount / a.rate);
-    }
-  }
-  return dt;
-}
-
 bool Engine::step() {
-  if (active_.empty()) return false;
-  if (rates_dirty_) recompute_rates();
-  const double dt = next_event_dt();
+  if (order_.empty()) return false;
+  if (rates_dirty_) reshare();
+  const double dt = std::min(std::min(delay_min_, work_min_), submit_min_);
   MTSCHED_INVARIANT(std::isfinite(dt), "no upcoming event among activities");
 
   now_ += dt;
-  // Advance all clocks and account resource consumption.
-  for (auto& [id, a] : active_) {
+  delay_min_ = kInf;
+  work_min_ = kInf;
+  submit_min_ = kInf;
+  completed_slots_.clear();
+
+  // One fused pass in id order: advance clocks, account resource
+  // consumption, apply phase transitions, detect completions, and gather
+  // next-event candidates for the classes whose rates cannot move.
+  std::size_t keep = 0;
+  for (const std::uint32_t slot : order_) {
+    Activity& a = slab_[slot];
     if (a.in_delay) {
       a.remaining_delay -= dt;
-    } else if (!a.uses.empty() && !std::isinf(a.rate)) {
+      if (a.remaining_delay > kEps) {
+        delay_min_ = std::min(delay_min_, a.remaining_delay);
+        order_[keep++] = slot;
+        continue;
+      }
+      // Latency phase over: enter the work phase within this event batch.
+      a.in_delay = false;
+      a.remaining_delay = 0.0;
+      ++num_working_;
+      rates_dirty_ = true;
+      if (a.uses.empty()) {
+        a.rate = kInf;  // what the solver reports for usage-free activities
+      } else {
+        solve_dirty_ = true;  // joins the working usage multiset
+      }
+      if (trace_) trace_state(a, "work");
+      if (a.remaining_amount <= kEps || a.uses.empty()) {
+        completed_slots_.push_back(slot);
+      } else {
+        // Its event candidate comes from the solve solve_dirty_ scheduled.
+        order_[keep++] = slot;
+      }
+      continue;
+    }
+    // Work phase: advance and account resource consumption.
+    if (!a.uses.empty() && !std::isinf(a.rate)) {
       a.remaining_amount -= a.rate * dt;
       for (const auto& u : a.uses) {
         usage_[u.resource] += u.weight * a.rate * dt;
       }
     }
+    if (a.remaining_amount <= kEps || a.uses.empty() || std::isinf(a.rate)) {
+      completed_slots_.push_back(slot);
+      continue;
+    }
+    MTSCHED_INVARIANT(a.rate > 0.0, "working activity has zero rate");
+    work_min_ = std::min(work_min_, a.remaining_amount / a.rate);
+    order_[keep++] = slot;
   }
-  // Collect this instant's transitions and completions, in id order
-  // (std::map iteration) for determinism.
-  std::vector<ActivityId> completed;
-  for (auto& [id, a] : active_) {
-    if (a.in_delay && a.remaining_delay <= kEps) {
-      a.in_delay = false;
-      a.remaining_delay = 0.0;
+  order_.resize(keep);
+
+  if (!completed_slots_.empty()) {
+    // Detach completions before invoking callbacks so callbacks can
+    // submit. The callback buffer round-trips through a local so a
+    // re-entrant run() inside a callback stays safe.
+    std::vector<CompletionFn> callbacks = std::move(callbacks_);
+    callbacks.clear();
+    callbacks.reserve(completed_slots_.size());
+    for (const std::uint32_t slot : completed_slots_) {
+      Activity& a = slab_[slot];
+      if (trace_) trace_state(a, "done");
+      callbacks.push_back(std::move(a.on_complete));
+      // Leaving the working set with a non-empty usage vector changes the
+      // solve inputs; pure timers expire without disturbing the rates.
+      if (!a.uses.empty()) solve_dirty_ = true;
+      a = Activity{};  // release name/uses storage
+      free_slots_.push_back(slot);
+      --num_working_;
       rates_dirty_ = true;
-      if (trace_) trace_state(a, "work");
+      ++events_;
     }
-    if (!a.in_delay &&
-        (a.remaining_amount <= kEps || a.uses.empty() || std::isinf(a.rate))) {
-      completed.push_back(id);
+    if (events_counter_ != nullptr) {
+      events_counter_->add(completed_slots_.size());
     }
-  }
-  // Detach completions before invoking callbacks so callbacks can submit.
-  std::vector<CompletionFn> callbacks;
-  callbacks.reserve(completed.size());
-  for (ActivityId id : completed) {
-    auto it = active_.find(id);
-    if (trace_) trace_state(it->second, "done");
-    callbacks.push_back(std::move(it->second.on_complete));
-    active_.erase(it);
-    rates_dirty_ = true;
-    ++events_;
-  }
-  if (events_counter_ != nullptr && !completed.empty()) {
-    events_counter_->add(completed.size());
-  }
-  if (trace_ && !completed.empty()) {
-    trace_.counter("simcore", "active", static_cast<double>(active_.size()));
-  }
-  for (auto& cb : callbacks) {
-    if (cb) cb(now_);
+    if (trace_) {
+      trace_.counter("simcore", "active", static_cast<double>(order_.size()));
+    }
+    for (auto& cb : callbacks) {
+      if (cb) cb(now_);
+    }
+    callbacks_ = std::move(callbacks);
   }
   return true;
 }
@@ -194,13 +263,19 @@ double Engine::utilization(ResourceId r) const {
   return usage_[r] / (capacities_[r] * now_);
 }
 
+const Engine::Activity* Engine::find_active(ActivityId id) const {
+  const auto it = std::lower_bound(
+      order_.begin(), order_.end(), id,
+      [this](std::uint32_t slot, ActivityId v) { return slab_[slot].id < v; });
+  if (it == order_.end() || slab_[*it].id != id) return nullptr;
+  return &slab_[*it];
+}
+
 double Engine::current_rate(ActivityId id) const {
-  auto it = active_.find(id);
-  MTSCHED_REQUIRE(it != active_.end(), "activity is not active");
+  const Activity* a = find_active(id);
+  MTSCHED_REQUIRE(a != nullptr, "activity is not active");
   MTSCHED_REQUIRE(!rates_dirty_, "rates not computed yet; call step() first");
-  return it->second.in_delay ? 0.0
-                             : (it->second.uses.empty() ? kInf
-                                                        : it->second.rate);
+  return a->in_delay ? 0.0 : (a->uses.empty() ? kInf : a->rate);
 }
 
 }  // namespace mtsched::simcore

@@ -8,9 +8,86 @@
 
 namespace mtsched::simcore {
 
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void MaxMinSolver::solve(const std::vector<double>& capacities,
+                         const std::vector<const std::vector<Use>*>& activities,
+                         std::vector<double>& rates) {
+  const std::size_t num_res = capacities.size();
+  const std::size_t num_act = activities.size();
+
+  rates.assign(num_act, kInf);
+  free_cap_.assign(capacities.begin(), capacities.end());
+  // load_ and binding_ are all-zero between solves (each round resets
+  // exactly the entries it touched), so only a resize is needed here.
+  if (load_.size() != num_res) {
+    load_.assign(num_res, 0.0);
+    binding_.assign(num_res, 0);
+  }
+  unfrozen_.clear();
+  for (std::size_t i = 0; i < num_act; ++i) {
+    if (!activities[i]->empty()) unfrozen_.push_back(i);
+  }
+
+  while (!unfrozen_.empty()) {
+    // Load accumulation: ascending activity order, exactly as a
+    // from-scratch refill over the full list would sum it — but touching
+    // only unfrozen activities and remembering which resources got load.
+    touched_.clear();
+    for (const std::size_t i : unfrozen_) {
+      for (const auto& u : *activities[i]) {
+        if (load_[u.resource] == 0.0) touched_.push_back(u.resource);
+        load_[u.resource] += u.weight;
+      }
+    }
+    // The binding resource gives the smallest uniform rate.
+    double rho = kInf;
+    for (const std::size_t r : touched_) {
+      rho = std::min(rho, std::max(0.0, free_cap_[r]) / load_[r]);
+    }
+    MTSCHED_INVARIANT(rho < kInf, "unfrozen activity uses no loaded resource");
+
+    // Identify the binding resources from the pre-freeze snapshot, then
+    // freeze every unfrozen activity touching one of them.
+    for (const std::size_t r : touched_) {
+      binding_[r] = std::max(0.0, free_cap_[r]) / load_[r] <= rho * (1.0 + 1e-12)
+                        ? 1
+                        : 0;
+    }
+    bool froze_any = false;
+    std::size_t keep = 0;
+    for (const std::size_t i : unfrozen_) {
+      bool hit = false;
+      for (const auto& u : *activities[i]) {
+        if (binding_[u.resource] != 0) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        rates[i] = rho;
+        froze_any = true;
+        for (const auto& u : *activities[i]) {
+          free_cap_[u.resource] -= u.weight * rho;
+        }
+      } else {
+        unfrozen_[keep++] = i;
+      }
+    }
+    unfrozen_.resize(keep);
+    MTSCHED_INVARIANT(froze_any, "progressive filling made no progress");
+    // Restore the all-zero invariant for the next round/solve.
+    for (const std::size_t r : touched_) {
+      load_[r] = 0.0;
+      binding_[r] = 0;
+    }
+  }
+}
+
 std::vector<double> solve_max_min(const MaxMinProblem& problem) {
   const std::size_t num_res = problem.capacities.size();
-  const std::size_t num_act = problem.activities.size();
   for (double c : problem.capacities)
     MTSCHED_REQUIRE(c > 0.0, "resource capacities must be positive");
   for (const auto& uses : problem.activities) {
@@ -20,66 +97,13 @@ std::vector<double> solve_max_min(const MaxMinProblem& problem) {
     }
   }
 
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> rates(num_act, kInf);
-  std::vector<bool> frozen(num_act, false);
-  // Activities with no usage are unconstrained (infinite rate).
-  std::size_t remaining = 0;
-  for (std::size_t i = 0; i < num_act; ++i) {
-    if (problem.activities[i].empty()) {
-      frozen[i] = true;
-    } else {
-      ++remaining;
-    }
-  }
+  std::vector<const std::vector<Use>*> views;
+  views.reserve(problem.activities.size());
+  for (const auto& uses : problem.activities) views.push_back(&uses);
 
-  std::vector<double> free_cap = problem.capacities;  // capacity minus frozen
-  std::vector<double> load(num_res, 0.0);             // unfrozen weight sums
-
-  while (remaining > 0) {
-    std::fill(load.begin(), load.end(), 0.0);
-    for (std::size_t i = 0; i < num_act; ++i) {
-      if (frozen[i]) continue;
-      for (const auto& u : problem.activities[i]) load[u.resource] += u.weight;
-    }
-    // The binding resource gives the smallest uniform rate.
-    double rho = kInf;
-    for (std::size_t r = 0; r < num_res; ++r) {
-      if (load[r] > 0.0) rho = std::min(rho, std::max(0.0, free_cap[r]) / load[r]);
-    }
-    MTSCHED_INVARIANT(rho < kInf, "unfrozen activity uses no loaded resource");
-
-    // Identify the binding resources from the pre-freeze snapshot, then
-    // freeze every unfrozen activity touching one of them.
-    std::vector<bool> binding(num_res, false);
-    for (std::size_t r = 0; r < num_res; ++r) {
-      if (load[r] > 0.0 &&
-          std::max(0.0, free_cap[r]) / load[r] <= rho * (1.0 + 1e-12)) {
-        binding[r] = true;
-      }
-    }
-    bool froze_any = false;
-    for (std::size_t i = 0; i < num_act; ++i) {
-      if (frozen[i]) continue;
-      bool hit = false;
-      for (const auto& u : problem.activities[i]) {
-        if (binding[u.resource]) {
-          hit = true;
-          break;
-        }
-      }
-      if (hit) {
-        frozen[i] = true;
-        rates[i] = rho;
-        --remaining;
-        froze_any = true;
-        for (const auto& u : problem.activities[i]) {
-          free_cap[u.resource] -= u.weight * rho;
-        }
-      }
-    }
-    MTSCHED_INVARIANT(froze_any, "progressive filling made no progress");
-  }
+  MaxMinSolver solver;
+  std::vector<double> rates;
+  solver.solve(problem.capacities, views, rates);
   return rates;
 }
 

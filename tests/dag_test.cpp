@@ -1,6 +1,8 @@
 // Unit tests for the task-graph model.
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "mtsched/core/error.hpp"
 #include "mtsched/dag/dag.hpp"
 
@@ -112,6 +114,45 @@ TEST(Dag, PrecedenceLevels) {
 TEST(Dag, NumLevelsEmptyGraph) {
   Dag g;
   EXPECT_EQ(g.num_levels(), 0);
+}
+
+TEST(Dag, TopologyCacheInvalidatedByMutation) {
+  Dag g;
+  const auto a = g.add_task(TaskKernel::MatMul, 100);
+  const auto b = g.add_task(TaskKernel::MatMul, 100);
+  const auto c = g.add_task(TaskKernel::MatMul, 100);
+  g.add_edge(a, b);
+  EXPECT_EQ(g.num_levels(), 2);  // a -> b, c floating
+  EXPECT_EQ(g.precedence_levels()[c], 0);
+  // Repeated queries return the same cached storage.
+  EXPECT_EQ(&g.topological_order(), &g.topological_order());
+  // Mutation must drop the cache: the new edge deepens the graph.
+  g.add_edge(b, c);
+  EXPECT_EQ(g.num_levels(), 3);
+  EXPECT_EQ(g.precedence_levels()[c], 2);
+  // Adding a task also invalidates (the new task is a fresh level-0 entry).
+  g.add_task(TaskKernel::MatAdd, 50);
+  EXPECT_EQ(g.topological_order().size(), 4u);
+  EXPECT_EQ(g.precedence_levels().size(), 4u);
+}
+
+TEST(Dag, CopySharesCacheButMutationsStayIndependent) {
+  Dag g;
+  const auto a = g.add_task(TaskKernel::MatMul, 100);
+  const auto b = g.add_task(TaskKernel::MatMul, 100);
+  g.add_edge(a, b);
+  (void)g.topological_order();  // warm the cache
+  Dag copy = g;
+  EXPECT_EQ(copy.num_levels(), 2);
+  // Mutating the copy must not disturb the original's topology.
+  const auto c = copy.add_task(TaskKernel::MatMul, 100);
+  copy.add_edge(b, c);
+  EXPECT_EQ(copy.num_levels(), 3);
+  EXPECT_EQ(g.num_levels(), 2);
+  EXPECT_EQ(g.topological_order().size(), 2u);
+  // And move keeps the derived topology intact.
+  const Dag moved = std::move(copy);
+  EXPECT_EQ(moved.num_levels(), 3);
 }
 
 TEST(Dag, EdgeBytesIsFullMatrix) {

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "mtsched/core/error.hpp"
 #include "mtsched/dag/generator.hpp"
@@ -245,5 +247,85 @@ TEST_P(AllocatorProperties, AllAlgorithmsProduceValidAllocations) {
 
 INSTANTIATE_TEST_SUITE_P(Table1, AllocatorProperties,
                          ::testing::Range<std::size_t>(0, 54, 5));
+
+/// Naive CPA reference: recomputes levels and the average area from
+/// scratch every iteration, exactly as the pre-incremental implementation
+/// did. The production skeleton (cached topology, delta level updates,
+/// memoized task times) must match it allocation-for-allocation.
+std::vector<int> reference_cpa(const Dag& g, const SchedCost& cost, int P) {
+  constexpr double kEps = 1e-12;
+  const std::size_t n = g.num_tasks();
+  std::vector<int> alloc(n, 1);
+  std::vector<double> tau(n);
+  for (TaskId t = 0; t < n; ++t) tau[t] = cost.task_time(g.task(t), 1);
+  const std::size_t max_iter = n * static_cast<std::size_t>(P);
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    // Full top/bottom-level DP.
+    std::vector<double> top(n, 0.0), bottom(n, 0.0);
+    const auto order = g.topological_order();
+    for (TaskId t : order) {
+      for (TaskId p : g.predecessors(t)) {
+        top[t] = std::max(top[t], top[p] + tau[p]);
+      }
+    }
+    double t_cp = 0.0;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const TaskId t = *it;
+      bottom[t] = tau[t];
+      for (TaskId s : g.successors(t)) {
+        bottom[t] = std::max(bottom[t], tau[t] + bottom[s]);
+      }
+      t_cp = std::max(t_cp, top[t] + bottom[t]);
+    }
+    // Full average area with fresh cost calls.
+    double area = 0.0;
+    for (TaskId t = 0; t < n; ++t) {
+      area += static_cast<double>(alloc[t]) * cost.task_time(g.task(t), alloc[t]);
+    }
+    const double t_a = area / static_cast<double>(P);
+    if (t_cp <= t_a + kEps) break;
+    TaskId best = kInvalidTask;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    for (TaskId t = 0; t < n; ++t) {
+      if (top[t] + bottom[t] < t_cp - 1e-9 * t_cp) continue;
+      if (alloc[t] >= P) continue;
+      const double tau_new = cost.task_time(g.task(t), alloc[t] + 1);
+      const double gain = tau[t] / static_cast<double>(alloc[t]) -
+                          tau_new / static_cast<double>(alloc[t] + 1);
+      if (gain > best_gain + kEps) {
+        best_gain = gain;
+        best = t;
+      }
+    }
+    if (best == kInvalidTask) break;
+    alloc[best] += 1;
+    tau[best] = cost.task_time(g.task(best), alloc[best]);
+  }
+  return alloc;
+}
+
+class CpaEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpaEquivalence, IncrementalSkeletonMatchesNaiveReference) {
+  DagGenParams p;
+  p.num_tasks = 40 + GetParam() * 23;
+  p.width = 2 + GetParam() % 5;
+  p.add_ratio = 0.4;
+  p.matrix_dim = 1000 + 200 * (GetParam() % 4);
+  p.seed = static_cast<std::uint64_t>(GetParam()) * 101 + 3;
+  const auto inst = generate_random_dag(p);
+  // Startup makes the speedup curves non-ideal, so gains shrink and the
+  // best-candidate comparisons are genuinely exercised.
+  const IdealCost cost(/*startup=*/0.2);
+  for (int P : {4, 16}) {
+    const auto fast = CpaAllocator{}.allocate(inst.graph, cost, P);
+    const auto ref = reference_cpa(inst.graph, cost, P);
+    // Exact equality: the incremental level updates and memoized cost
+    // curves must not shift a single growth decision.
+    EXPECT_EQ(fast, ref) << "tasks=" << p.num_tasks << " P=" << P;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, CpaEquivalence, ::testing::Range(0, 8));
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Tests for the fluid discrete-event engine.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "mtsched/core/error.hpp"
@@ -171,6 +172,77 @@ TEST(Engine, UtilizationZeroBeforeTimePasses) {
   const auto r = e.add_resource(10.0);
   EXPECT_DOUBLE_EQ(e.utilization(r), 0.0);
   EXPECT_THROW(e.utilization(99), InvalidArgument);
+}
+
+TEST(Engine, TimerExpiryDoesNotDisturbSharedRates) {
+  // Pure timers firing mid-simulation take the solver-skip fast path (the
+  // working usage multiset is unchanged): completion times of the work
+  // activities must be bitwise equal to a run without the timers.
+  auto done_times_with = [](bool with_timers) {
+    Engine e;
+    const auto r = e.add_resource(10.0);
+    std::vector<double> done;
+    e.submit({{r, 1.0}}, 100.0, 0.0, [&](double t) { done.push_back(t); });
+    e.submit({{r, 2.0}}, 100.0, 0.0, [&](double t) { done.push_back(t); });
+    if (with_timers) {
+      for (int i = 1; i <= 5; ++i) e.submit_timer(2.5 * i, nullptr);
+    }
+    e.run();
+    return done;
+  };
+  const auto with_t = done_times_with(true);
+  const auto without = done_times_with(false);
+  ASSERT_EQ(with_t.size(), without.size());
+  for (std::size_t i = 0; i < with_t.size(); ++i) {
+    // The timers subdivide the work-advance chains, so equality is only up
+    // to float accumulation — but any solver-skip bug (stale or zeroed
+    // rates after a timer expiry) shifts completions by whole seconds.
+    EXPECT_NEAR(with_t[i], without[i], 1e-9) << "completion " << i;
+  }
+}
+
+TEST(Engine, SlotReuseKeepsIdsAndCountsStraight) {
+  // Heavy churn exercises the slab free list: ids stay unique, lookups by
+  // id keep working, and the active count tracks live activities only.
+  Engine e;
+  const auto r = e.add_resource(10.0);
+  int completions = 0;
+  std::function<void(int)> chain = [&](int remaining) {
+    if (remaining == 0) return;
+    e.submit({{r, 1.0}}, 5.0, 0.5, [&, remaining](double) {
+      ++completions;
+      chain(remaining - 1);
+    });
+  };
+  // Three interleaved chains of 40 activities each.
+  chain(40);
+  chain(40);
+  chain(40);
+  EXPECT_EQ(e.num_active(), 3u);
+  e.run();
+  EXPECT_EQ(completions, 120);
+  EXPECT_EQ(e.num_active(), 0u);
+  EXPECT_EQ(e.events_processed(), 120u);
+}
+
+TEST(Engine, CurrentRateLookupAfterInterleavedCompletions) {
+  // current_rate() binary-searches the id-ordered live list; holes left by
+  // completed activities must not break the id lookup.
+  Engine e;
+  const auto r = e.add_resource(12.0);
+  const auto a = e.submit({{r, 1.0}}, 6.0, 0.0, nullptr);    // done at t=1.5
+  const auto b = e.submit({{r, 1.0}}, 400.0, 0.0, nullptr);  // long-lived
+  const auto c = e.submit({{r, 1.0}}, 6.0, 0.0, nullptr);    // done at t=1.5
+  ASSERT_TRUE(e.step());  // a and c finish; b survives in the middle slot
+  EXPECT_EQ(e.num_active(), 1u);
+  // Completed ids no longer resolve; the surviving id still does (rates
+  // are pending recomputation right after a completion, as always).
+  EXPECT_THROW(e.current_rate(a), InvalidArgument);
+  EXPECT_THROW(e.current_rate(c), InvalidArgument);
+  EXPECT_THROW(e.current_rate(b), InvalidArgument);  // dirty, but found
+  e.run();
+  EXPECT_EQ(e.num_active(), 0u);
+  EXPECT_DOUBLE_EQ(e.now(), 1.5 + 394.0 / 12.0);
 }
 
 TEST(Engine, SharedResourceUsageSumsAcrossActivities) {
