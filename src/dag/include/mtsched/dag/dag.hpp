@@ -29,6 +29,9 @@ enum class TaskKernel {
 
 const char* kernel_name(TaskKernel k);
 
+/// Number of distinct TaskKernel values (for dense per-kernel tables).
+inline constexpr std::size_t kNumKernels = 2;
+
 /// Sequential flop count of a kernel on n-by-n matrices, including the
 /// paper's n/4 repetition factor for additions (Section IV-1).
 double kernel_flops(TaskKernel k, int n);
@@ -89,6 +92,21 @@ class Dag {
   /// The reference stays valid until the next add_task()/add_edge().
   const std::vector<TaskId>& topological_order() const;
 
+  /// Flat CSR view over the adjacency plus the topological positions,
+  /// cached together with the topological order. Edge targets appear in
+  /// the same per-task order as predecessors()/successors(), so
+  /// reductions over them see identical operands in identical order.
+  /// All references stay valid until the next add_task()/add_edge().
+  struct TopologyView {
+    const std::vector<TaskId>& order;            ///< topological order
+    const std::vector<std::size_t>& positions;   ///< task -> index in order
+    const std::vector<std::size_t>& pred_offsets;  ///< size num_tasks + 1
+    const std::vector<TaskId>& preds;            ///< flat predecessor lists
+    const std::vector<std::size_t>& succ_offsets;  ///< size num_tasks + 1
+    const std::vector<TaskId>& succs;            ///< flat successor lists
+  };
+  TopologyView topology() const;
+
   /// Precedence level of every task: entry tasks are level 0, any other
   /// task is 1 + max level over its predecessors. Used by MCPA. The
   /// reference stays valid until the next add_task()/add_edge().
@@ -108,6 +126,9 @@ class Dag {
   /// depends on the immutable structure it was computed from).
   struct TopoCache {
     std::vector<TaskId> order;
+    std::vector<std::size_t> positions;
+    std::vector<std::size_t> pred_off, succ_off;
+    std::vector<TaskId> pred_flat, succ_flat;
     std::vector<int> levels;
     int num_levels = 0;
   };

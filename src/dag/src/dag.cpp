@@ -142,6 +142,23 @@ const Dag::TopoCache& Dag::topo() const {
   }
   MTSCHED_REQUIRE(cache->order.size() == tasks_.size(), "DAG contains a cycle");
 
+  cache->positions.assign(tasks_.size(), 0);
+  for (std::size_t i = 0; i < cache->order.size(); ++i) {
+    cache->positions[cache->order[i]] = i;
+  }
+  cache->pred_off.assign(tasks_.size() + 1, 0);
+  cache->succ_off.assign(tasks_.size() + 1, 0);
+  for (const auto& t : tasks_) {
+    cache->pred_off[t.id + 1] = cache->pred_off[t.id] + preds_[t.id].size();
+    cache->succ_off[t.id + 1] = cache->succ_off[t.id] + succs_[t.id].size();
+  }
+  cache->pred_flat.reserve(edges_.size());
+  cache->succ_flat.reserve(edges_.size());
+  for (const auto& t : tasks_) {
+    for (const TaskId p : preds_[t.id]) cache->pred_flat.push_back(p);
+    for (const TaskId s : succs_[t.id]) cache->succ_flat.push_back(s);
+  }
+
   cache->levels.assign(tasks_.size(), 0);
   for (const TaskId id : cache->order) {
     for (const TaskId p : preds_[id]) {
@@ -159,6 +176,12 @@ const Dag::TopoCache& Dag::topo() const {
 
 const std::vector<TaskId>& Dag::topological_order() const {
   return topo().order;
+}
+
+Dag::TopologyView Dag::topology() const {
+  const TopoCache& c = topo();
+  return TopologyView{c.order,    c.positions, c.pred_off,
+                      c.pred_flat, c.succ_off,  c.succ_flat};
 }
 
 const std::vector<int>& Dag::precedence_levels() const {

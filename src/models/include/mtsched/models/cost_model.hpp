@@ -20,6 +20,7 @@
 // is only reachable through measurements taken by mtsched::profiling.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,28 @@ class CostModel {
   double redist_estimate(const dag::Task& producer, int p_src,
                          int p_dst) const;
 
+  /// Batched estimate curve: fills out[p - 1] with
+  /// exec_estimate(t, p) + startup_estimate(p) for p = 1..out.size() in
+  /// one virtual call. Table-backed models override this to resolve the
+  /// (kernel, n) row once instead of once per p; every entry must be
+  /// bit-identical to the scalar sum.
+  virtual void task_time_curve(const dag::Task& t,
+                               std::span<double> out) const {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const int p = static_cast<int>(i) + 1;
+      out[i] = exec_estimate(t, p) + startup_estimate(p);
+    }
+  }
+
+  /// Batched redistribution curve over p_dst = 1..out.size(); entries are
+  /// bit-identical to the scalar redist_estimate.
+  void redist_time_curve(const dag::Task& producer, int p_src,
+                         std::span<double> out) const {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = redist_estimate(producer, p_src, static_cast<int>(i) + 1);
+    }
+  }
+
   const platform::ClusterSpec& spec() const { return spec_; }
 
  protected:
@@ -111,6 +134,14 @@ class SchedCostAdapter final : public sched::SchedCost {
   }
   double redist_overhead_time(int p_src, int p_dst) const override {
     return model_.redist_overhead(p_src, p_dst);
+  }
+  void task_time_curve(const dag::Task& t,
+                       std::span<double> out) const override {
+    model_.task_time_curve(t, out);
+  }
+  void redist_time_curve(const dag::Task& producer, int p_src,
+                         std::span<double> out) const override {
+    model_.redist_time_curve(producer, p_src, out);
   }
 
  private:

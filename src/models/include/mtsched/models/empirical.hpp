@@ -10,7 +10,10 @@
 // {15,24,31}, avoiding the outliers at 8 and 16).
 #pragma once
 
+#include <array>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "mtsched/models/cost_model.hpp"
 #include "mtsched/stats/regression.hpp"
@@ -32,17 +35,30 @@ class EmpiricalModel final : public CostModel {
   /// Throws core::InvalidArgument if no execution fit is present.
   EmpiricalModel(platform::ClusterSpec spec, EmpiricalFits fits);
 
+  // Non-copyable: exec_index_ entries point into fits_.
+  EmpiricalModel(const EmpiricalModel&) = delete;
+  EmpiricalModel& operator=(const EmpiricalModel&) = delete;
+
   CostModelKind kind() const override { return CostModelKind::Empirical; }
 
   TaskSimCost task_sim_cost(const dag::Task& t, int p) const override;
   double redist_overhead(int p_src, int p_dst) const override;
   double exec_estimate(const dag::Task& t, int p) const override;
   double startup_estimate(int p) const override;
+  void task_time_curve(const dag::Task& t,
+                       std::span<double> out) const override;
 
   const EmpiricalFits& fits() const { return fits_; }
 
  private:
+  const stats::PiecewiseFit& exec_fit(dag::TaskKernel k, int n) const;
+
   EmpiricalFits fits_;
+  /// Per-kernel (n, fit) index over fits_.exec, sorted by n — the same
+  /// flat lookup scheme as ProfileModel::exec_index_.
+  std::array<std::vector<std::pair<int, const stats::PiecewiseFit*>>,
+             dag::kNumKernels>
+      exec_index_;
 };
 
 }  // namespace mtsched::models

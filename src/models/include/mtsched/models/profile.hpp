@@ -10,7 +10,9 @@
 // simulation, but an extra redistribution overhead is added").
 #pragma once
 
+#include <array>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "mtsched/models/cost_model.hpp"
@@ -33,19 +35,32 @@ class ProfileModel final : public CostModel {
   /// non-positive execution entries.
   ProfileModel(platform::ClusterSpec spec, ProfileTables tables);
 
+  // Non-copyable: exec_index_ rows point into tables_.
+  ProfileModel(const ProfileModel&) = delete;
+  ProfileModel& operator=(const ProfileModel&) = delete;
+
   CostModelKind kind() const override { return CostModelKind::Profile; }
 
   TaskSimCost task_sim_cost(const dag::Task& t, int p) const override;
   double redist_overhead(int p_src, int p_dst) const override;
   double exec_estimate(const dag::Task& t, int p) const override;
   double startup_estimate(int p) const override;
+  void task_time_curve(const dag::Task& t,
+                       std::span<double> out) const override;
 
   const ProfileTables& tables() const { return tables_; }
 
  private:
+  const std::vector<double>& exec_row(dag::TaskKernel k, int n) const;
   double exec_lookup(dag::TaskKernel k, int n, int p) const;
 
   ProfileTables tables_;
+  /// Per-kernel (n, row) index over tables_.exec, sorted by n: curve and
+  /// scalar lookups binary-search this flat array instead of paying a
+  /// std::map find per query. Row pointers alias tables_.exec entries.
+  std::array<std::vector<std::pair<int, const std::vector<double>*>>,
+             dag::kNumKernels>
+      exec_index_;
 };
 
 }  // namespace mtsched::models

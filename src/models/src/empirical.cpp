@@ -18,16 +18,31 @@ EmpiricalModel::EmpiricalModel(platform::ClusterSpec spec, EmpiricalFits fits)
     : CostModel(std::move(spec)), fits_(std::move(fits)) {
   MTSCHED_REQUIRE(!fits_.exec.empty(),
                   "empirical model needs at least one execution fit");
+  // Map iteration is ordered by (kernel, n), so each per-kernel index
+  // comes out sorted by n and ready for binary search.
+  for (const auto& [key, fit] : fits_.exec) {
+    exec_index_[static_cast<std::size_t>(key.first)].emplace_back(key.second,
+                                                                  &fit);
+  }
+}
+
+const stats::PiecewiseFit& EmpiricalModel::exec_fit(dag::TaskKernel k,
+                                                    int n) const {
+  const auto& index = exec_index_[static_cast<std::size_t>(k)];
+  const auto it = std::lower_bound(
+      index.begin(), index.end(), n,
+      [](const auto& entry, int value) { return entry.first < value; });
+  MTSCHED_REQUIRE(it != index.end() && it->first == n,
+                  "no execution fit for kernel '" +
+                      std::string(dag::kernel_name(k)) +
+                      "' at n = " + std::to_string(n));
+  return *it->second;
 }
 
 double EmpiricalModel::exec_estimate(const dag::Task& t, int p) const {
   MTSCHED_REQUIRE(p >= 1 && p <= spec_.num_nodes, "allocation out of range");
-  const auto it = fits_.exec.find({t.kernel, t.matrix_dim});
-  MTSCHED_REQUIRE(it != fits_.exec.end(),
-                  "no execution fit for kernel '" +
-                      std::string(dag::kernel_name(t.kernel)) +
-                      "' at n = " + std::to_string(t.matrix_dim));
-  return std::max(kTimeFloor, it->second.eval(static_cast<double>(p)));
+  const auto& fit = exec_fit(t.kernel, t.matrix_dim);
+  return std::max(kTimeFloor, fit.eval(static_cast<double>(p)));
 }
 
 double EmpiricalModel::startup_estimate(int p) const {
@@ -49,6 +64,18 @@ TaskSimCost EmpiricalModel::task_sim_cost(const dag::Task& t, int p) const {
   cost.startup_seconds = startup_estimate(p);
   cost.fixed_seconds = exec_estimate(t, p);
   return cost;
+}
+
+void EmpiricalModel::task_time_curve(const dag::Task& t,
+                                     std::span<double> out) const {
+  MTSCHED_REQUIRE(static_cast<int>(out.size()) <= spec_.num_nodes,
+                  "allocation out of range");
+  const auto& fit = exec_fit(t.kernel, t.matrix_dim);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double p = static_cast<double>(static_cast<int>(i) + 1);
+    out[i] = std::max(kTimeFloor, fit.eval(p)) +
+             std::max(0.0, stats::eval_linear(fits_.startup, p));
+  }
 }
 
 }  // namespace mtsched::models

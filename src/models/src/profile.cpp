@@ -1,5 +1,6 @@
 #include "mtsched/models/profile.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "mtsched/core/error.hpp"
@@ -15,18 +16,30 @@ ProfileModel::ProfileModel(platform::ClusterSpec spec, ProfileTables tables)
     for (double v : times) {
       MTSCHED_REQUIRE(v > 0.0, "profiled execution times must be positive");
     }
+    // Map iteration is ordered by (kernel, n), so each per-kernel index
+    // comes out sorted by n and ready for binary search.
+    exec_index_[static_cast<std::size_t>(key.first)].emplace_back(key.second,
+                                                                  &times);
   }
   MTSCHED_REQUIRE(!tables_.startup.empty(), "startup table must be non-empty");
   MTSCHED_REQUIRE(!tables_.redist_by_dst.empty(),
                   "redistribution overhead table must be non-empty");
 }
 
-double ProfileModel::exec_lookup(dag::TaskKernel k, int n, int p) const {
-  const auto it = tables_.exec.find({k, n});
-  MTSCHED_REQUIRE(it != tables_.exec.end(),
+const std::vector<double>& ProfileModel::exec_row(dag::TaskKernel k,
+                                                  int n) const {
+  const auto& index = exec_index_[static_cast<std::size_t>(k)];
+  const auto it = std::lower_bound(
+      index.begin(), index.end(), n,
+      [](const auto& entry, int value) { return entry.first < value; });
+  MTSCHED_REQUIRE(it != index.end() && it->first == n,
                   "no profile for kernel '" + std::string(dag::kernel_name(k)) +
                       "' at n = " + std::to_string(n));
-  const auto& times = it->second;
+  return *it->second;
+}
+
+double ProfileModel::exec_lookup(dag::TaskKernel k, int n, int p) const {
+  const auto& times = exec_row(k, n);
   MTSCHED_REQUIRE(p >= 1 && static_cast<std::size_t>(p) <= times.size(),
                   "no profile entry for p = " + std::to_string(p));
   return times[static_cast<std::size_t>(p - 1)];
@@ -57,6 +70,18 @@ double ProfileModel::startup_estimate(int p) const {
                       static_cast<std::size_t>(p) <= tables_.startup.size(),
                   "no startup entry for p = " + std::to_string(p));
   return tables_.startup[static_cast<std::size_t>(p - 1)];
+}
+
+void ProfileModel::task_time_curve(const dag::Task& t,
+                                   std::span<double> out) const {
+  const auto& times = exec_row(t.kernel, t.matrix_dim);
+  MTSCHED_REQUIRE(out.size() <= times.size(),
+                  "no profile entry for p = " + std::to_string(out.size()));
+  MTSCHED_REQUIRE(out.size() <= tables_.startup.size(),
+                  "no startup entry for p = " + std::to_string(out.size()));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = times[i] + tables_.startup[i];
+  }
 }
 
 }  // namespace mtsched::models

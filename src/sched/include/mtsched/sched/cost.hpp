@@ -6,6 +6,8 @@
 // the concrete simulator cost models live in mtsched::models.
 #pragma once
 
+#include <span>
+
 #include "mtsched/dag/dag.hpp"
 
 namespace mtsched::sched {
@@ -24,7 +26,10 @@ class SchedCost {
 
   /// Estimated time to redistribute `producer`'s output matrix from p_src
   /// to p_dst processors (payload plus protocol overhead, as far as the
-  /// model knows about either).
+  /// model knows about either). The estimate may read the producer only
+  /// through its kernel and matrix_dim (the shape of its output matrix):
+  /// the schedulers memoize redistribution estimates on that key and
+  /// reuse them across same-shaped producers.
   virtual double redist_time(const dag::Task& producer, int p_src,
                              int p_dst) const = 0;
 
@@ -40,6 +45,28 @@ class SchedCost {
   /// Total per-task time the allocation phase reasons about.
   double task_time(const dag::Task& t, int p) const {
     return exec_time(t, p) + startup_time(p);
+  }
+
+  /// Batched task-time curve: fills out[p - 1] with task_time(t, p) for
+  /// p = 1..out.size() in one virtual call. Every entry must be
+  /// bit-identical to the scalar task_time — overriding models may only
+  /// batch the lookup, never change the arithmetic. The p-sweeps of the
+  /// allocation phase (TaskTimeMemo) and of MHEFT consume this.
+  virtual void task_time_curve(const dag::Task& t,
+                               std::span<double> out) const {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = task_time(t, static_cast<int>(i) + 1);
+    }
+  }
+
+  /// Batched redistribution curve over the destination size: fills
+  /// out[p - 1] with redist_time(producer, p_src, p) for
+  /// p = 1..out.size(). Same bit-identity contract as task_time_curve.
+  virtual void redist_time_curve(const dag::Task& producer, int p_src,
+                                 std::span<double> out) const {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = redist_time(producer, p_src, static_cast<int>(i) + 1);
+    }
   }
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <span>
 
 #include "mtsched/core/error.hpp"
 #include "mtsched/obs/trace.hpp"
@@ -27,22 +28,33 @@ std::vector<double> task_times(const dag::Dag& g, const SchedCost& cost,
 
 /// Memoized cost.task_time(t, p) curve. CPA's candidate scan re-queries
 /// the same critical-path points every growth iteration and HCPA's
-/// efficiency envelope re-evaluates the same (t, p) pairs; cost models are
-/// pure functions of (task, p), so each point is computed at most once.
+/// efficiency envelope re-evaluates the same (t, p) pairs; cost models
+/// are pure functions of (task, p), so the first query for a task fills
+/// its whole p = 1..P row with one batched task_time_curve call and
+/// every later query is an array load. Curve entries are bit-identical
+/// to the scalar task_time by the SchedCost contract.
 class TaskTimeMemo {
  public:
   TaskTimeMemo(const dag::Dag& g, const SchedCost& cost, int P)
       : g_(g),
         cost_(cost),
-        stride_(static_cast<std::size_t>(P) + 1),
-        memo_(g.num_tasks() * stride_,
-              std::numeric_limits<double>::quiet_NaN()) {}
+        stride_(static_cast<std::size_t>(P)),
+        memo_(g.num_tasks() * stride_),
+        filled_(g.num_tasks(), 0) {}
 
   /// tau(t, p) for p in [1, P].
   double operator()(dag::TaskId t, int p) const {
-    double& slot = memo_[t * stride_ + static_cast<std::size_t>(p)];
-    if (std::isnan(slot)) slot = cost_.task_time(g_.task(t), p);
-    return slot;
+    return row(t)[static_cast<std::size_t>(p - 1)];
+  }
+
+  /// The whole tau(t, 1..P) curve.
+  std::span<const double> row(dag::TaskId t) const {
+    double* r = memo_.data() + t * stride_;
+    if (!filled_[t]) {
+      cost_.task_time_curve(g_.task(t), {r, stride_});
+      filled_[t] = 1;
+    }
+    return {r, stride_};
   }
 
  private:
@@ -50,6 +62,7 @@ class TaskTimeMemo {
   const SchedCost& cost_;
   std::size_t stride_;
   mutable std::vector<double> memo_;
+  mutable std::vector<std::uint8_t> filled_;
 };
 
 /// Top/bottom levels with zero edge weights (classic CPA uses computation
@@ -61,24 +74,18 @@ class TaskTimeMemo {
 /// bit-identical to recomputing from scratch.
 class LevelTracker {
  public:
-  explicit LevelTracker(const dag::Dag& g) : order_(g.topological_order()) {
+  explicit LevelTracker(const dag::Dag& g)
+      : order_(g.topology().order),
+        pos_(g.topology().positions),
+        pred_off_(g.topology().pred_offsets),
+        pred_(g.topology().preds),
+        succ_off_(g.topology().succ_offsets),
+        succ_(g.topology().succs) {
+    // The flat CSR adjacency and topological positions are the Dag's
+    // cached ones — the relaxation loops below are the hot spot and must
+    // not pay vector-of-vector indirection, but the arrays only depend
+    // on the immutable structure, so every tracker shares them.
     const std::size_t n = g.num_tasks();
-    pos_.assign(n, 0);
-    for (std::size_t i = 0; i < order_.size(); ++i) pos_[order_[i]] = i;
-    // Flat CSR adjacency: the relaxation loops below are the hot spot and
-    // must not pay per-call bounds checks or vector-of-vector indirection.
-    pred_off_.assign(n + 1, 0);
-    succ_off_.assign(n + 1, 0);
-    for (dag::TaskId t = 0; t < n; ++t) {
-      pred_off_[t + 1] = pred_off_[t] + g.predecessors(t).size();
-      succ_off_[t + 1] = succ_off_[t] + g.successors(t).size();
-    }
-    pred_.reserve(pred_off_[n]);
-    succ_.reserve(succ_off_[n]);
-    for (dag::TaskId t = 0; t < n; ++t) {
-      for (const dag::TaskId p : g.predecessors(t)) pred_.push_back(p);
-      for (const dag::TaskId s : g.successors(t)) succ_.push_back(s);
-    }
     top_.assign(n, 0.0);
     bottom_.assign(n, 0.0);
     dirty_.assign(n, 0);
@@ -175,10 +182,13 @@ class LevelTracker {
   double t_cp() const { return t_cp_; }
 
  private:
-  const std::vector<dag::TaskId>& order_;  ///< cached in the Dag
-  std::vector<std::size_t> pos_;
-  std::vector<std::size_t> pred_off_, succ_off_;
-  std::vector<dag::TaskId> pred_, succ_;
+  // All adjacency views are cached in (and shared with) the Dag.
+  const std::vector<dag::TaskId>& order_;
+  const std::vector<std::size_t>& pos_;
+  const std::vector<std::size_t>& pred_off_;
+  const std::vector<dag::TaskId>& pred_;
+  const std::vector<std::size_t>& succ_off_;
+  const std::vector<dag::TaskId>& succ_;
   std::vector<double> top_;     ///< longest path length ending before t
   std::vector<double> bottom_;  ///< longest path length from t inclusive
   double t_cp_ = 0.0;

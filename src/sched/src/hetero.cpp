@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "list_common.hpp"
 #include "mtsched/core/error.hpp"
 #include "mtsched/obs/trace.hpp"
 
@@ -59,57 +60,36 @@ Schedule HeteroListMapper::map(const dag::Dag& g,
   for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
     tau[t] = cost.task_time(g.task(t), virtual_alloc[t]);
   }
-  std::vector<double> bl(g.num_tasks(), 0.0);
-  const auto order = g.topological_order();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const dag::TaskId t = *it;
-    bl[t] = tau[t];
-    for (dag::TaskId s : g.successors(t)) {
-      bl[t] = std::max(bl[t], tau[t] + bl[s]);
-    }
-  }
-  std::vector<dag::TaskId> priority(g.num_tasks());
-  std::iota(priority.begin(), priority.end(), 0);
-  std::stable_sort(priority.begin(), priority.end(),
-                   [&](dag::TaskId a, dag::TaskId b) {
-                     if (bl[a] != bl[b]) return bl[a] > bl[b];
-                     return a < b;
-                   });
+  const auto bl = detail::bottom_levels(g, tau);
+  const auto priority = detail::priority_order(bl);
+  detail::ReadyQueue ready(g, priority);
+  const detail::RedistMemo redist_memo(g, cost, P);
 
   Schedule s;
   s.placements.resize(g.num_tasks());
   s.proc_order.assign(static_cast<std::size_t>(P), {});
   std::vector<double> proc_ready(static_cast<std::size_t>(P), 0.0);
-  std::vector<bool> placed(g.num_tasks(), false);
+
+  // Per-placement scratch, sized once per call.
+  std::vector<int> pref(static_cast<std::size_t>(P));
 
   for (std::size_t done = 0; done < g.num_tasks(); ++done) {
-    dag::TaskId chosen = dag::kInvalidTask;
-    for (dag::TaskId cand : priority) {
-      if (placed[cand]) continue;
-      bool ready = true;
-      for (dag::TaskId q : g.predecessors(cand)) {
-        if (!placed[q]) {
-          ready = false;
-          break;
-        }
-      }
-      if (ready) {
-        chosen = cand;
-        break;
-      }
-    }
-    MTSCHED_INVARIANT(chosen != dag::kInvalidTask, "no ready task");
+    const dag::TaskId chosen = ready.pop();
 
     // Preference: earliest-available first, faster node on ties — this
     // also groups similar-speed nodes, limiting the slowest-member
     // discount.
-    std::vector<int> pref(static_cast<std::size_t>(P));
+    // Explicit id tie-break makes this a total order, so std::sort gives
+    // the stable ranking without stable_sort's per-call temporary buffer.
     std::iota(pref.begin(), pref.end(), 0);
-    std::stable_sort(pref.begin(), pref.end(), [&](int a, int b) {
+    std::sort(pref.begin(), pref.end(), [&](int a, int b) {
       const double ra = proc_ready[static_cast<std::size_t>(a)];
       const double rb = proc_ready[static_cast<std::size_t>(b)];
       if (ra != rb) return ra < rb;
-      return spec.flops_of(a) > spec.flops_of(b);
+      const double fa = spec.flops_of(a);
+      const double fb = spec.flops_of(b);
+      if (fa != fb) return fa > fb;
+      return a < b;
     });
     auto procs = vc_.translate(virtual_alloc[chosen], pref);
     std::sort(procs.begin(), procs.end());
@@ -119,9 +99,8 @@ Schedule HeteroListMapper::map(const dag::Dag& g,
       const auto& qp = s.placements[q];
       data_ready = std::max(
           data_ready,
-          qp.est_finish + cost.redist_time(
-                              g.task(q), static_cast<int>(qp.procs.size()),
-                              static_cast<int>(procs.size())));
+          qp.est_finish + redist_memo(q, static_cast<int>(qp.procs.size()),
+                                      static_cast<int>(procs.size())));
     }
     double avail = 0.0;
     for (int pr : procs) {
@@ -144,7 +123,7 @@ Schedule HeteroListMapper::map(const dag::Dag& g,
       proc_ready[static_cast<std::size_t>(pr)] = finish;
       s.proc_order[static_cast<std::size_t>(pr)].push_back(chosen);
     }
-    placed[chosen] = true;
+    ready.mark_placed(chosen);
     s.est_makespan = std::max(s.est_makespan, finish);
   }
 

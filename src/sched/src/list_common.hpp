@@ -1,0 +1,202 @@
+// Shared internals of the ready-queue list schedulers (ListMapper, MHEFT,
+// HeteroListMapper).
+//
+// All three walk the same structure: rank tasks by decreasing bottom
+// level, then repeatedly place the highest-ranked task whose predecessors
+// are all placed. The naive form rescans the whole priority list per
+// placement (O(T^2)); here readiness is tracked by predecessor counts and
+// the next task comes from a min-heap keyed by list rank, which pops
+// exactly the task the rescan would have picked, in O(log W) for W
+// concurrently ready tasks.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/dag/dag.hpp"
+#include "mtsched/sched/cost.hpp"
+
+namespace mtsched::sched::detail {
+
+/// Computation-only bottom levels (bl[t] = tau[t] + max bl over
+/// successors), evaluated over the Dag's cached topological order and CSR
+/// adjacency. Successors are folded in the same per-task order as
+/// Dag::successors(), so every max chain sees identical operands in
+/// identical order as the adjacency-list walk it replaces.
+inline std::vector<double> bottom_levels(const dag::Dag& g,
+                                         const std::vector<double>& tau) {
+  const auto topo = g.topology();
+  std::vector<double> bl(g.num_tasks(), 0.0);
+  for (auto it = topo.order.rbegin(); it != topo.order.rend(); ++it) {
+    const dag::TaskId t = *it;
+    double b = tau[t];
+    for (std::size_t e = topo.succ_offsets[t]; e < topo.succ_offsets[t + 1];
+         ++e) {
+      b = std::max(b, tau[t] + bl[topo.succs[e]]);
+    }
+    bl[t] = b;
+  }
+  return bl;
+}
+
+/// List priorities: decreasing bottom level, ties by task id. The id
+/// tie-break makes the comparator a strict total order, so plain sort
+/// yields the unique stable ranking.
+inline std::vector<dag::TaskId> priority_order(
+    const std::vector<double>& bl) {
+  std::vector<dag::TaskId> order(bl.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](dag::TaskId a, dag::TaskId b) {
+    if (bl[a] != bl[b]) return bl[a] > bl[b];
+    return a < b;
+  });
+  return order;
+}
+
+/// Indegree-tracked ready queue over a fixed priority list. pop() returns
+/// the first task in priority order whose predecessors have all been
+/// marked placed — the same selection as rescanning the list, without the
+/// rescan.
+class ReadyQueue {
+ public:
+  ReadyQueue(const dag::Dag& g, const std::vector<dag::TaskId>& priority)
+      : topo_(g.topology()), priority_(priority) {
+    const std::size_t n = priority.size();
+    rank_.resize(n);
+    for (std::size_t r = 0; r < n; ++r) rank_[priority[r]] = r;
+    waiting_preds_.resize(n);
+    for (dag::TaskId t = 0; t < n; ++t) {
+      waiting_preds_[t] = topo_.pred_offsets[t + 1] - topo_.pred_offsets[t];
+      if (waiting_preds_[t] == 0) heap_.push(rank_[t]);
+    }
+  }
+
+  /// Highest-priority dependency-ready task. Throws if none is ready
+  /// although unplaced tasks remain (cannot happen on an acyclic graph).
+  dag::TaskId pop() {
+    MTSCHED_INVARIANT(!heap_.empty(),
+                      "no ready task although tasks remain (cycle?)");
+    const dag::TaskId t = priority_[heap_.top()];
+    heap_.pop();
+    return t;
+  }
+
+  /// Marks `t` placed, releasing successors whose predecessors are now
+  /// all placed into the queue.
+  void mark_placed(dag::TaskId t) {
+    for (std::size_t e = topo_.succ_offsets[t]; e < topo_.succ_offsets[t + 1];
+         ++e) {
+      const dag::TaskId s = topo_.succs[e];
+      if (--waiting_preds_[s] == 0) heap_.push(rank_[s]);
+    }
+  }
+
+ private:
+  dag::Dag::TopologyView topo_;
+  const std::vector<dag::TaskId>& priority_;
+  std::vector<std::size_t> rank_;
+  std::vector<std::size_t> waiting_preds_;
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      std::greater<>>
+      heap_;
+};
+
+/// Memoized cost.redist_time values. A redistribution estimate may read
+/// the producer only through (kernel, matrix_dim) — the SchedCost
+/// contract — so estimates are shared across same-shaped producers and
+/// every (shape, p_src, p_dst) triple is evaluated at most once per
+/// mapping run. The refined models' estimates build a full block
+/// redistribution plan per evaluation, which made repeated scalar calls
+/// the dominant cost of the mapping phase.
+class RedistMemo {
+ public:
+  RedistMemo(const dag::Dag& g, const SchedCost& cost, int P)
+      : g_(g), cost_(cost), procs_(static_cast<std::size_t>(P)) {
+    // Dense task -> shape-key index, so the per-call lookup is one array
+    // load. Graphs carry a handful of distinct matrix dims, so a linear
+    // scan over the first-seen dims beats sorting every (kernel, dim)
+    // pair; a degenerate graph past the cap falls back to the sorted
+    // path.
+    constexpr std::size_t kMaxLinearDims = 64;
+    key_of_.resize(g.num_tasks());
+    std::vector<int> dims;
+    bool overflow = false;
+    for (const auto& t : g.tasks()) {
+      std::size_t di = 0;
+      while (di < dims.size() && dims[di] != t.matrix_dim) ++di;
+      if (di == dims.size()) {
+        if (dims.size() == kMaxLinearDims) {
+          overflow = true;
+          break;
+        }
+        dims.push_back(t.matrix_dim);
+      }
+      key_of_[t.id] =
+          di * dag::kNumKernels + static_cast<std::size_t>(t.kernel);
+    }
+    std::size_t num_shapes = dims.size() * dag::kNumKernels;
+    if (overflow) {
+      std::vector<std::pair<dag::TaskKernel, int>> shapes;
+      shapes.reserve(g.num_tasks());
+      for (const auto& t : g.tasks()) {
+        shapes.emplace_back(t.kernel, t.matrix_dim);
+      }
+      std::sort(shapes.begin(), shapes.end());
+      shapes.erase(std::unique(shapes.begin(), shapes.end()), shapes.end());
+      for (const auto& t : g.tasks()) {
+        key_of_[t.id] = static_cast<std::size_t>(
+            std::lower_bound(shapes.begin(), shapes.end(),
+                             std::make_pair(t.kernel, t.matrix_dim)) -
+            shapes.begin());
+      }
+      num_shapes = shapes.size();
+    }
+    memo_.assign(num_shapes * procs_ * procs_,
+                 std::numeric_limits<double>::quiet_NaN());
+    row_filled_.assign(num_shapes * procs_, 0);
+  }
+
+  /// redist_time(producer, p_src, p_dst), evaluated on first use.
+  double operator()(dag::TaskId producer, int p_src, int p_dst) const {
+    double& slot = memo_[(key_of_[producer] * procs_ +
+                          static_cast<std::size_t>(p_src - 1)) *
+                             procs_ +
+                         static_cast<std::size_t>(p_dst - 1)];
+    if (std::isnan(slot)) {
+      slot = cost_.redist_time(g_.task(producer), p_src, p_dst);
+    }
+    return slot;
+  }
+
+  /// The p_dst = 1..len prefix of the curve, fetched with one batched
+  /// redist_time_curve call on first use (entries are bit-identical to
+  /// the scalar calls by the SchedCost contract).
+  std::span<const double> curve(dag::TaskId producer, int p_src,
+                                std::size_t len) const {
+    const std::size_t row = key_of_[producer] * procs_ +
+                            static_cast<std::size_t>(p_src - 1);
+    double* r = memo_.data() + row * procs_;
+    if (row_filled_[row] < len) {
+      cost_.redist_time_curve(g_.task(producer), p_src, {r, len});
+      row_filled_[row] = len;
+    }
+    return {r, len};
+  }
+
+ private:
+  const dag::Dag& g_;
+  const SchedCost& cost_;
+  std::size_t procs_;
+  std::vector<std::size_t> key_of_;
+  mutable std::vector<double> memo_;
+  mutable std::vector<std::size_t> row_filled_;
+};
+
+}  // namespace mtsched::sched::detail

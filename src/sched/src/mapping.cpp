@@ -1,32 +1,16 @@
 #include "mtsched/sched/mapping.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <numeric>
 
+#include "list_common.hpp"
 #include "mtsched/core/error.hpp"
 #include "mtsched/obs/trace.hpp"
 #include "mtsched/sched/allocation.hpp"
 
 namespace mtsched::sched {
-
-namespace {
-
-/// Bottom levels (computation only) for list priorities.
-std::vector<double> bottom_levels(const dag::Dag& g,
-                                  const std::vector<double>& tau) {
-  std::vector<double> bl(g.num_tasks(), 0.0);
-  const auto order = g.topological_order();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const dag::TaskId t = *it;
-    bl[t] = tau[t];
-    for (dag::TaskId s : g.successors(t)) {
-      bl[t] = std::max(bl[t], tau[t] + bl[s]);
-    }
-  }
-  return bl;
-}
-
-}  // namespace
 
 ListMapper::ListMapper(MappingStrategy strategy, double locality_weight)
     : strategy_(strategy), locality_weight_(locality_weight) {
@@ -48,69 +32,94 @@ Schedule ListMapper::map(const dag::Dag& g, const std::vector<int>& alloc,
   for (int a : alloc) {
     MTSCHED_REQUIRE(a >= 1 && a <= P, "allocation entries must be in [1, P]");
   }
+  const bool redist_aware = strategy_ == MappingStrategy::RedistributionAware;
 
   std::vector<double> tau(g.num_tasks());
   for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
     tau[t] = cost.task_time(g.task(t), alloc[t]);
   }
-  const auto bl = bottom_levels(g, tau);
-
-  // List order: decreasing bottom level, ties by id. Only dependency-ready
-  // tasks are eligible (the list is rebuilt as tasks complete placement,
-  // which for a static order means a topological sort refined by priority).
-  std::vector<dag::TaskId> order(g.num_tasks());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](dag::TaskId a, dag::TaskId b) {
-                     if (bl[a] != bl[b]) return bl[a] > bl[b];
-                     return a < b;
-                   });
-  // Enforce topological feasibility: repeatedly take the highest-priority
-  // task whose predecessors are all placed.
-  std::vector<bool> placed(g.num_tasks(), false);
+  // List order: decreasing bottom level, ties by id; only dependency-ready
+  // tasks are eligible, tracked by the ready queue (which pops exactly the
+  // first ready task in priority order).
+  const auto bl = detail::bottom_levels(g, tau);
+  const auto order = detail::priority_order(bl);
+  detail::ReadyQueue ready(g, order);
+  const detail::RedistMemo redist_memo(g, cost, P);
 
   Schedule s;
   s.placements.resize(g.num_tasks());
   s.proc_order.assign(static_cast<std::size_t>(P), {});
   std::vector<double> proc_ready(static_cast<std::size_t>(P), 0.0);
 
+  // Per-placement scratch, sized once. Processor-set membership is kept
+  // as one bit per processor when the cluster fits a word — overlap
+  // counts become a popcount — with epoch-stamped flag arrays (a slot is
+  // set iff its stamp matches the current one, so nothing is cleared
+  // between placements) as the wide-cluster fallback. Both paths produce
+  // the same integer counts. Per-predecessor redistribution estimates
+  // are computed once per placement instead of once per candidate-set
+  // evaluation.
+  const bool use_masks = redist_aware && P <= 64;
+  std::vector<std::uint64_t> placed_mask;  // per task, procs as a bitset
+  if (use_masks) placed_mask.resize(g.num_tasks(), 0);
+  std::vector<std::uint32_t> holds_stamp;
+  std::vector<std::uint32_t> member_stamp;
+  if (redist_aware && !use_masks) {
+    holds_stamp.assign(static_cast<std::size_t>(P), 0);
+    member_stamp.assign(static_cast<std::size_t>(P), 0);
+  }
+  std::uint32_t hold_epoch = 0;   // bumped per placement
+  std::uint32_t member_epoch = 0; // bumped per candidate-set evaluation
+  std::vector<double> redist_base;  // redist_time(q, p_q, p_t) per pred
+  std::vector<double> redist_ovh;   // redist_overhead_time(p_q, p_t) per pred
+  std::vector<int> est_set, loc_set;
+
+  // Processors ordered by (availability, id) — the EST ranking. A
+  // placement moves only the processors it used, all to the same finish
+  // time, so the ranking is repaired by removing them and merging them
+  // back (they stay ordered by id) instead of re-sorting: the total
+  // order (proc_ready, id) determines the result uniquely either way.
+  std::vector<int> by_ready(static_cast<std::size_t>(P));
+  std::iota(by_ready.begin(), by_ready.end(), 0);
+  std::vector<int> keep_buf(static_cast<std::size_t>(P));
+  std::vector<std::uint32_t> update_stamp(static_cast<std::size_t>(P), 0);
+  std::uint32_t update_epoch = 0;
+
   for (std::size_t placed_count = 0; placed_count < g.num_tasks();
        ++placed_count) {
-    // Pick the first ready task in priority order.
-    dag::TaskId chosen = dag::kInvalidTask;
-    for (dag::TaskId cand : order) {
-      if (placed[cand]) continue;
-      bool ready = true;
-      for (dag::TaskId p : g.predecessors(cand)) {
-        if (!placed[p]) {
-          ready = false;
-          break;
-        }
-      }
-      if (ready) {
-        chosen = cand;
-        break;
-      }
-    }
-    MTSCHED_INVARIANT(chosen != dag::kInvalidTask,
-                      "no ready task although tasks remain (cycle?)");
-
+    const dag::TaskId chosen = ready.pop();
     const int p_t = alloc[chosen];
+    const auto& preds = g.predecessors(chosen);
 
-    // Which processors already hold input data, and the lower bound on
-    // when any data can be ready (producers must have finished).
-    std::vector<bool> holds_input(static_cast<std::size_t>(P), false);
+    // Which processors already hold input data, the lower bound on when
+    // any data can be ready (producers must have finished), and the
+    // redistribution estimate per predecessor — all gathered in one pass.
+    ++hold_epoch;
+    std::uint64_t holders = 0;
     double producers_done = 0.0;
     double mean_redist = 0.0;
-    for (dag::TaskId q : g.predecessors(chosen)) {
+    redist_base.clear();
+    redist_ovh.clear();
+    for (dag::TaskId q : preds) {
       const auto& qp = s.placements[q];
+      const int p_q = static_cast<int>(qp.procs.size());
       producers_done = std::max(producers_done, qp.est_finish);
-      mean_redist += cost.redist_time(
-          g.task(q), static_cast<int>(qp.procs.size()), p_t);
-      for (int pr : qp.procs) holds_input[static_cast<std::size_t>(pr)] = true;
+      const double redist = redist_memo(q, p_q, p_t);
+      redist_base.push_back(redist);
+      mean_redist += redist;
+      if (redist_aware) {
+        redist_ovh.push_back(cost.redist_overhead_time(p_q, p_t));
+        if (use_masks) {
+          holders |= placed_mask[q];
+        } else {
+          for (int pr : qp.procs) {
+            holds_stamp[static_cast<std::size_t>(pr)] = hold_epoch;
+          }
+        }
+      }
     }
-    if (!g.predecessors(chosen).empty()) {
-      mean_redist /= static_cast<double>(g.predecessors(chosen).size());
+    if (!preds.empty()) {
+      mean_redist /= static_cast<double>(preds.size());
     }
 
     // Data-ready time for a given processor set: predecessors' finish plus
@@ -118,28 +127,42 @@ Schedule ListMapper::map(const dag::Dag& g, const std::vector<int>& alloc,
     // discounts the payload share by the overlap with each predecessor's
     // processors (same-node transfers are local copies).
     auto data_ready_on = [&](const std::vector<int>& set) {
-      double ready = 0.0;
-      for (dag::TaskId q : g.predecessors(chosen)) {
-        const auto& qp = s.placements[q];
-        const int p_q = static_cast<int>(qp.procs.size());
-        double redist = cost.redist_time(g.task(q), p_q, p_t);
-        if (strategy_ == MappingStrategy::RedistributionAware) {
-          int overlap = 0;
+      double ready_at = 0.0;
+      std::uint64_t set_mask = 0;
+      if (redist_aware) {
+        if (use_masks) {
+          for (int pr : set) set_mask |= std::uint64_t{1} << pr;
+        } else {
+          ++member_epoch;
           for (int pr : set) {
-            if (std::find(qp.procs.begin(), qp.procs.end(), pr) !=
-                qp.procs.end()) {
-              ++overlap;
+            member_stamp[static_cast<std::size_t>(pr)] = member_epoch;
+          }
+        }
+      }
+      for (std::size_t qi = 0; qi < preds.size(); ++qi) {
+        const auto& qp = s.placements[preds[qi]];
+        double redist = redist_base[qi];
+        if (redist_aware) {
+          int overlap;
+          if (use_masks) {
+            overlap = std::popcount(placed_mask[preds[qi]] & set_mask);
+          } else {
+            overlap = 0;
+            for (int pr : qp.procs) {
+              if (member_stamp[static_cast<std::size_t>(pr)] == member_epoch) {
+                ++overlap;
+              }
             }
           }
-          const double overhead = cost.redist_overhead_time(p_q, p_t);
+          const double overhead = redist_ovh[qi];
           const double payload = std::max(0.0, redist - overhead);
           const double remote_frac =
               1.0 - static_cast<double>(overlap) / static_cast<double>(p_t);
           redist = overhead + payload * remote_frac;
         }
-        ready = std::max(ready, qp.est_finish + redist);
+        ready_at = std::max(ready_at, qp.est_finish + redist);
       }
-      return ready;
+      return ready_at;
     };
     auto start_on = [&](const std::vector<int>& set) {
       double avail = 0.0;
@@ -148,62 +171,131 @@ Schedule ListMapper::map(const dag::Dag& g, const std::vector<int>& alloc,
       }
       return std::max(data_ready_on(set), avail);
     };
-    auto top_p = [&](auto&& less) {
-      std::vector<int> all(static_cast<std::size_t>(P));
-      std::iota(all.begin(), all.end(), 0);
-      std::stable_sort(all.begin(), all.end(), less);
-      all.resize(static_cast<std::size_t>(p_t));
-      std::sort(all.begin(), all.end());
-      return all;
-    };
 
-    // Candidate 1: classic EST — the p_t earliest-available processors.
-    auto est_set = top_p([&](int a, int b) {
-      return proc_ready[static_cast<std::size_t>(a)] <
-             proc_ready[static_cast<std::size_t>(b)];
-    });
+    // Candidate 1: classic EST — the p_t earliest-available processors,
+    // i.e. the leading prefix of the maintained availability ranking.
+    est_set.assign(by_ready.begin(),
+                   by_ready.begin() + static_cast<std::ptrdiff_t>(p_t));
+    std::sort(est_set.begin(), est_set.end());
 
-    std::vector<int> procs;
+    const std::vector<int>* procs = &est_set;
+    double start;
     if (strategy_ == MappingStrategy::EarliestStart) {
-      procs = std::move(est_set);
+      start = start_on(est_set);
     } else {
       // Candidate 2: locality-biased — a processor that holds input data
-      // earns a bonus worth (weighted) redistribution savings; waiting for
-      // it below the producers' finish time is free anyway.
-      auto loc_set = top_p([&](int a, int b) {
-        auto score = [&](int pr) {
-          const auto idx = static_cast<std::size_t>(pr);
-          const double effective = std::max(proc_ready[idx], producers_done);
-          const double bonus =
-              holds_input[idx] ? locality_weight_ * mean_redist : 0.0;
-          return effective - bonus;
-        };
-        const double sa = score(a);
-        const double sb = score(b);
-        if (sa != sb) return sa < sb;
-        return proc_ready[static_cast<std::size_t>(a)] <
-               proc_ready[static_cast<std::size_t>(b)];
-      });
+      // earns a bonus worth (weighted) redistribution savings; waiting
+      // for it below the producers' finish time is free anyway. The
+      // score is a monotone transform of availability within each class
+      // (holders all get the same bonus, non-holders none), so each
+      // class, filtered out of the availability ranking, is already
+      // ordered by the loc key (score, availability, id): the p_t best
+      // come from a two-stream merge — no per-placement sort or
+      // selection over the cluster.
+      const double bonus = locality_weight_ * mean_redist;
+      auto is_holder = [&](int pr) {
+        return use_masks
+                   ? ((holders >> pr) & 1u) != 0
+                   : holds_stamp[static_cast<std::size_t>(pr)] == hold_epoch;
+      };
+      std::size_t cur[2] = {0, 0};   // stream cursors into by_ready
+      int head[2] = {-1, -1};        // next processor per class, -1 = done
+      double head_score[2] = {0.0, 0.0};
+      auto fetch = [&](int cls) {
+        std::size_t& c = cur[cls];
+        while (c < static_cast<std::size_t>(P)) {
+          const int pr = by_ready[c];
+          if (static_cast<int>(is_holder(pr)) == cls) {
+            const double effective = std::max(
+                proc_ready[static_cast<std::size_t>(pr)], producers_done);
+            head[cls] = pr;
+            head_score[cls] = cls == 1 ? effective - bonus : effective;
+            return;
+          }
+          ++c;
+        }
+        head[cls] = -1;
+      };
+      fetch(0);
+      fetch(1);
+      loc_set.clear();
+      while (static_cast<int>(loc_set.size()) < p_t) {
+        int cls;
+        if (head[0] < 0) {
+          cls = 1;
+        } else if (head[1] < 0) {
+          cls = 0;
+        } else if (head_score[0] != head_score[1]) {
+          cls = head_score[0] < head_score[1] ? 0 : 1;
+        } else {
+          const double r0 = proc_ready[static_cast<std::size_t>(head[0])];
+          const double r1 = proc_ready[static_cast<std::size_t>(head[1])];
+          if (r0 != r1) {
+            cls = r0 < r1 ? 0 : 1;
+          } else {
+            cls = head[0] < head[1] ? 0 : 1;
+          }
+        }
+        loc_set.push_back(head[cls]);
+        ++cur[cls];
+        fetch(cls);
+      }
+      std::sort(loc_set.begin(), loc_set.end());
       // Keep whichever candidate starts (hence finishes) earlier; ties go
       // to EST. Comparing candidates prevents the classic failure mode of
       // greedy locality: sibling tasks piling onto their parent's
-      // processors and serializing.
-      procs = start_on(loc_set) < start_on(est_set) ? std::move(loc_set)
-                                                    : std::move(est_set);
+      // processors and serializing. Equal candidate sets start at the
+      // same time, so the tie resolves to EST without a second
+      // evaluation.
+      if (loc_set == est_set) {
+        start = start_on(est_set);
+      } else {
+        const double loc_start = start_on(loc_set);
+        const double est_start = start_on(est_set);
+        if (loc_start < est_start) {
+          procs = &loc_set;
+          start = loc_start;
+        } else {
+          start = est_start;
+        }
+      }
     }
 
-    const double start = start_on(procs);
     const double finish = start + tau[chosen];
 
     auto& pl = s.placements[chosen];
-    pl.procs = procs;
+    pl.procs = *procs;
     pl.est_start = start;
     pl.est_finish = finish;
-    for (int pr : procs) {
+    ++update_epoch;
+    for (int pr : pl.procs) {
       proc_ready[static_cast<std::size_t>(pr)] = finish;
       s.proc_order[static_cast<std::size_t>(pr)].push_back(chosen);
+      update_stamp[static_cast<std::size_t>(pr)] = update_epoch;
+      if (use_masks) placed_mask[chosen] |= std::uint64_t{1} << pr;
     }
-    placed[chosen] = true;
+    // Repair the availability ranking: drop the just-updated processors
+    // (preserving the order of the rest) and merge them back by
+    // (proc_ready, id); pl.procs is id-sorted and shares one ready time,
+    // so both ranges are ordered by that key.
+    std::size_t kept = 0;
+    for (int pr : by_ready) {
+      if (update_stamp[static_cast<std::size_t>(pr)] != update_epoch) {
+        keep_buf[kept++] = pr;
+      }
+    }
+    std::size_t i = 0, j = 0, o = 0;
+    while (i < kept && j < pl.procs.size()) {
+      const int a = keep_buf[i];
+      const int b = pl.procs[j];
+      const double ra = proc_ready[static_cast<std::size_t>(a)];
+      const double rb = proc_ready[static_cast<std::size_t>(b)];
+      by_ready[o++] = (ra != rb ? ra < rb : a < b) ? keep_buf[i++]
+                                                   : pl.procs[j++];
+    }
+    while (i < kept) by_ready[o++] = keep_buf[i++];
+    while (j < pl.procs.size()) by_ready[o++] = pl.procs[j++];
+    ready.mark_placed(chosen);
     s.est_makespan = std::max(s.est_makespan, finish);
   }
 

@@ -1,9 +1,12 @@
 #include "mtsched/sched/mheft.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <numeric>
+#include <span>
 
+#include "list_common.hpp"
 #include "mtsched/core/error.hpp"
 #include "mtsched/obs/trace.hpp"
 
@@ -25,6 +28,7 @@ Schedule MHeftScheduler::schedule(const dag::Dag& g) const {
   MTSCHED_REQUIRE(g.num_tasks() > 0, "cannot schedule an empty DAG");
   const int P = num_procs_;
   const int p_cap = max_alloc_ == 0 ? P : max_alloc_;
+  const auto cap = static_cast<std::size_t>(p_cap);
 
   // Bottom levels with sequential times for priorities (HEFT's upward
   // rank, specialized to a homogeneous cluster).
@@ -32,75 +36,63 @@ Schedule MHeftScheduler::schedule(const dag::Dag& g) const {
   for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
     tau1[t] = cost_.task_time(g.task(t), 1);
   }
-  std::vector<double> bl(g.num_tasks(), 0.0);
-  const auto order = g.topological_order();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const dag::TaskId t = *it;
-    bl[t] = tau1[t];
-    for (dag::TaskId s : g.successors(t)) {
-      bl[t] = std::max(bl[t], tau1[t] + bl[s]);
-    }
-  }
-  std::vector<dag::TaskId> priority(g.num_tasks());
-  std::iota(priority.begin(), priority.end(), 0);
-  std::stable_sort(priority.begin(), priority.end(),
-                   [&](dag::TaskId a, dag::TaskId b) {
-                     if (bl[a] != bl[b]) return bl[a] > bl[b];
-                     return a < b;
-                   });
+  const auto bl = detail::bottom_levels(g, tau1);
+  const auto priority = detail::priority_order(bl);
+  detail::ReadyQueue ready(g, priority);
+  const detail::RedistMemo redist_memo(g, cost_, P);
 
   Schedule s;
   s.placements.resize(g.num_tasks());
   s.proc_order.assign(static_cast<std::size_t>(P), {});
   std::vector<double> proc_ready(static_cast<std::size_t>(P), 0.0);
-  std::vector<bool> placed(g.num_tasks(), false);
+
+  // Per-placement scratch, sized once. The candidate loop sweeps p, so the
+  // task-time and per-predecessor redistribution curves are fetched with
+  // one batched (and memoized, for redistribution) cost-model call each
+  // instead of one virtual call per p.
+  std::vector<double> task_curve(cap);
+  std::vector<std::span<const double>> redist_curves;  // row per predecessor
+
+  // Processors ordered by (availability, id); the prefix of size p is the
+  // EST set for every candidate allocation. A placement moves only the
+  // processors it used, all to the same finish time, so the ranking is
+  // repaired by removing them and merging them back (they stay ordered by
+  // id) instead of re-sorting: the total order (proc_ready, id)
+  // determines the result uniquely either way.
+  std::vector<int> by_ready(static_cast<std::size_t>(P));
+  std::iota(by_ready.begin(), by_ready.end(), 0);
+  std::vector<int> keep_buf(static_cast<std::size_t>(P));
+  std::vector<std::uint32_t> update_stamp(static_cast<std::size_t>(P), 0);
+  std::uint32_t update_epoch = 0;
 
   for (std::size_t placed_count = 0; placed_count < g.num_tasks();
        ++placed_count) {
-    dag::TaskId chosen = dag::kInvalidTask;
-    for (dag::TaskId cand : priority) {
-      if (placed[cand]) continue;
-      bool ready = true;
-      for (dag::TaskId q : g.predecessors(cand)) {
-        if (!placed[q]) {
-          ready = false;
-          break;
-        }
-      }
-      if (ready) {
-        chosen = cand;
-        break;
-      }
-    }
-    MTSCHED_INVARIANT(chosen != dag::kInvalidTask,
-                      "no ready task although tasks remain");
+    const dag::TaskId chosen = ready.pop();
+    const auto& preds = g.predecessors(chosen);
 
-    // Processors sorted by availability once; prefix of size p is the EST
-    // set for every candidate allocation.
-    std::vector<int> by_ready(static_cast<std::size_t>(P));
-    std::iota(by_ready.begin(), by_ready.end(), 0);
-    std::stable_sort(by_ready.begin(), by_ready.end(), [&](int a, int b) {
-      return proc_ready[static_cast<std::size_t>(a)] <
-             proc_ready[static_cast<std::size_t>(b)];
-    });
+    cost_.task_time_curve(g.task(chosen), {task_curve.data(), cap});
+    redist_curves.resize(preds.size());
+    for (std::size_t qi = 0; qi < preds.size(); ++qi) {
+      const auto& qp = s.placements[preds[qi]];
+      redist_curves[qi] = redist_memo.curve(
+          preds[qi], static_cast<int>(qp.procs.size()), cap);
+    }
 
     double best_finish = std::numeric_limits<double>::infinity();
     double best_start = 0.0;
     int best_p = 1;
     for (int p = 1; p <= p_cap; ++p) {
       double data_ready = 0.0;
-      for (dag::TaskId q : g.predecessors(chosen)) {
-        const auto& qp = s.placements[q];
+      for (std::size_t qi = 0; qi < preds.size(); ++qi) {
+        const auto& qp = s.placements[preds[qi]];
         data_ready = std::max(
             data_ready,
-            qp.est_finish + cost_.redist_time(
-                                g.task(q),
-                                static_cast<int>(qp.procs.size()), p));
+            qp.est_finish + redist_curves[qi][static_cast<std::size_t>(p - 1)]);
       }
       const double avail =
           proc_ready[static_cast<std::size_t>(by_ready[p - 1])];
       const double start = std::max(data_ready, avail);
-      const double finish = start + cost_.task_time(g.task(chosen), p);
+      const double finish = start + task_curve[static_cast<std::size_t>(p - 1)];
       // Strictly-better wins; ties favour the smaller allocation that was
       // found first.
       if (finish < best_finish - 1e-12) {
@@ -110,17 +102,39 @@ Schedule MHeftScheduler::schedule(const dag::Dag& g) const {
       }
     }
 
-    std::vector<int> procs(by_ready.begin(), by_ready.begin() + best_p);
-    std::sort(procs.begin(), procs.end());
     auto& pl = s.placements[chosen];
-    pl.procs = procs;
+    pl.procs.assign(by_ready.begin(), by_ready.begin() + best_p);
+    std::sort(pl.procs.begin(), pl.procs.end());
     pl.est_start = best_start;
     pl.est_finish = best_finish;
-    for (int pr : procs) {
+    ++update_epoch;
+    for (int pr : pl.procs) {
       proc_ready[static_cast<std::size_t>(pr)] = best_finish;
       s.proc_order[static_cast<std::size_t>(pr)].push_back(chosen);
+      update_stamp[static_cast<std::size_t>(pr)] = update_epoch;
     }
-    placed[chosen] = true;
+    // Repair the availability ranking: drop the just-updated processors
+    // (preserving the order of the rest) and merge them back by
+    // (proc_ready, id); pl.procs is id-sorted and shares one ready time,
+    // so both ranges are ordered by that key.
+    std::size_t kept = 0;
+    for (int pr : by_ready) {
+      if (update_stamp[static_cast<std::size_t>(pr)] != update_epoch) {
+        keep_buf[kept++] = pr;
+      }
+    }
+    std::size_t i = 0, j = 0, o = 0;
+    while (i < kept && j < pl.procs.size()) {
+      const int a = keep_buf[i];
+      const int b = pl.procs[j];
+      const double ra = proc_ready[static_cast<std::size_t>(a)];
+      const double rb = proc_ready[static_cast<std::size_t>(b)];
+      by_ready[o++] = (ra != rb ? ra < rb : a < b) ? keep_buf[i++]
+                                                   : pl.procs[j++];
+    }
+    while (i < kept) by_ready[o++] = keep_buf[i++];
+    while (j < pl.procs.size()) by_ready[o++] = pl.procs[j++];
+    ready.mark_placed(chosen);
     s.est_makespan = std::max(s.est_makespan, best_finish);
   }
 

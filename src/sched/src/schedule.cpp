@@ -42,31 +42,47 @@ void validate_schedule(const dag::Dag& g, const Schedule& s, int num_procs) {
   MTSCHED_REQUIRE(s.proc_order.size() == static_cast<std::size_t>(num_procs),
                   "schedule must carry one order per processor");
 
-  // Placement sanity and the processor -> tasks cross-check.
-  std::vector<std::set<dag::TaskId>> on_proc(
+  // Placement sanity and the processor -> tasks cross-check. Tasks are
+  // visited in increasing id, so every on_proc list comes out sorted and
+  // duplicate-free and the cross-check is a plain vector comparison — no
+  // node-based sets on this path, it runs after every mapping call.
+  std::vector<std::vector<dag::TaskId>> on_proc(
       static_cast<std::size_t>(num_procs));
+  std::vector<int> scratch;
   for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
     const auto& pl = s.placements[t];
     MTSCHED_REQUIRE(!pl.procs.empty(), "task " + std::to_string(t) +
                                            " has an empty allocation");
-    std::set<int> distinct(pl.procs.begin(), pl.procs.end());
-    MTSCHED_REQUIRE(distinct.size() == pl.procs.size(),
-                    "task " + std::to_string(t) +
-                        " lists a processor more than once");
+    if (std::is_sorted(pl.procs.begin(), pl.procs.end())) {
+      // All mappers emit id-sorted placements, so this path is the norm.
+      MTSCHED_REQUIRE(std::adjacent_find(pl.procs.begin(), pl.procs.end()) ==
+                          pl.procs.end(),
+                      "task " + std::to_string(t) +
+                          " lists a processor more than once");
+    } else {
+      scratch.assign(pl.procs.begin(), pl.procs.end());
+      std::sort(scratch.begin(), scratch.end());
+      MTSCHED_REQUIRE(
+          std::adjacent_find(scratch.begin(), scratch.end()) == scratch.end(),
+          "task " + std::to_string(t) + " lists a processor more than once");
+    }
     for (int pr : pl.procs) {
       MTSCHED_REQUIRE(pr >= 0 && pr < num_procs,
                       "task " + std::to_string(t) +
                           " placed on out-of-range processor");
-      on_proc[static_cast<std::size_t>(pr)].insert(t);
+      on_proc[static_cast<std::size_t>(pr)].push_back(t);
     }
     MTSCHED_REQUIRE(pl.est_finish >= pl.est_start - kTimeTol,
                     "task " + std::to_string(t) + " finishes before it starts");
   }
+  std::vector<dag::TaskId> in_order;
   for (int pr = 0; pr < num_procs; ++pr) {
     const auto& order = s.proc_order[static_cast<std::size_t>(pr)];
-    std::set<dag::TaskId> in_order(order.begin(), order.end());
-    MTSCHED_REQUIRE(in_order.size() == order.size(),
-                    "processor order lists a task twice");
+    in_order.assign(order.begin(), order.end());
+    std::sort(in_order.begin(), in_order.end());
+    MTSCHED_REQUIRE(
+        std::adjacent_find(in_order.begin(), in_order.end()) == in_order.end(),
+        "processor order lists a task twice");
     MTSCHED_REQUIRE(in_order == on_proc[static_cast<std::size_t>(pr)],
                     "processor " + std::to_string(pr) +
                         " order disagrees with task placements");
@@ -92,14 +108,30 @@ void validate_schedule(const dag::Dag& g, const Schedule& s, int num_procs) {
 
 std::vector<dag::TaskId> replay_order(const dag::Dag& g, const Schedule& s) {
   const std::size_t n = g.num_tasks();
-  std::vector<std::vector<dag::TaskId>> succ(n);
+  // Successors of the combined relation (DAG edges plus per-processor
+  // chains) in CSR form: one counting pass, one prefix sum, one fill.
+  std::vector<std::size_t> off(n + 1, 0);
   std::vector<std::size_t> indeg(n, 0);
-  auto add = [&](dag::TaskId a, dag::TaskId b) {
-    succ[a].push_back(b);
+  auto count = [&](dag::TaskId a, dag::TaskId b) {
+    ++off[a + 1];
     ++indeg[b];
   };
+  for (const auto& e : g.edges()) count(e.src, e.dst);
+  for (const auto& order : s.proc_order) {
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      count(order[i - 1], order[i]);
+    }
+  }
+  for (std::size_t t = 0; t < n; ++t) off[t + 1] += off[t];
+  std::vector<dag::TaskId> succ(off[n]);
+  std::vector<std::size_t> fill(off.begin(), off.end() - 1);
+  auto add = [&](dag::TaskId a, dag::TaskId b) { succ[fill[a]++] = b; };
   for (const auto& e : g.edges()) add(e.src, e.dst);
-  for (const auto& [a, b] : proc_order_edges(s)) add(a, b);
+  for (const auto& order : s.proc_order) {
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      add(order[i - 1], order[i]);
+    }
+  }
 
   std::priority_queue<dag::TaskId, std::vector<dag::TaskId>, std::greater<>>
       ready;
@@ -111,8 +143,8 @@ std::vector<dag::TaskId> replay_order(const dag::Dag& g, const Schedule& s) {
     const dag::TaskId t = ready.top();
     ready.pop();
     order.push_back(t);
-    for (dag::TaskId u : succ[t])
-      if (--indeg[u] == 0) ready.push(u);
+    for (std::size_t e = off[t]; e < off[t + 1]; ++e)
+      if (--indeg[succ[e]] == 0) ready.push(succ[e]);
   }
   MTSCHED_REQUIRE(order.size() == n,
                   "DAG edges plus processor orders contain a cycle "

@@ -1,6 +1,8 @@
 // Tests for the three simulator cost models.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "mtsched/core/error.hpp"
 #include "mtsched/models/analytical.hpp"
 #include "mtsched/models/empirical.hpp"
@@ -225,6 +227,45 @@ TEST(KindNames, AllDistinct) {
   EXPECT_STREQ(kind_name(CostModelKind::Analytical), "analytical");
   EXPECT_STREQ(kind_name(CostModelKind::Profile), "profile");
   EXPECT_STREQ(kind_name(CostModelKind::Empirical), "empirical");
+}
+
+/// The batched curve APIs promise bit-identical values to the scalar
+/// calls — the schedulers rely on that to swap one for the other without
+/// perturbing a single placement decision. Exact equality, no tolerance.
+void expect_curves_match_scalars(const CostModel& m, const Task& t, int P) {
+  const SchedCostAdapter a(m);
+  std::vector<double> curve(static_cast<std::size_t>(P));
+  a.task_time_curve(t, curve);
+  for (int p = 1; p <= P; ++p) {
+    EXPECT_EQ(curve[static_cast<std::size_t>(p - 1)], a.task_time(t, p))
+        << m.name() << " task_time p=" << p;
+  }
+  for (int p_src : {1, 2, P}) {
+    a.redist_time_curve(t, p_src, curve);
+    for (int p = 1; p <= P; ++p) {
+      EXPECT_EQ(curve[static_cast<std::size_t>(p - 1)],
+                a.redist_time(t, p_src, p))
+          << m.name() << " redist_time p_src=" << p_src << " p=" << p;
+    }
+  }
+}
+
+TEST(CostCurves, AnalyticalBitIdenticalToScalar) {
+  const AnalyticalModel m(mtsched::platform::bayreuth32());
+  expect_curves_match_scalars(m, mm_task(), 32);
+  expect_curves_match_scalars(m, add_task(), 32);
+}
+
+TEST(CostCurves, ProfileBitIdenticalToScalar) {
+  const ProfileModel m(four_nodes(), small_tables());
+  expect_curves_match_scalars(m, mm_task(), 4);
+  expect_curves_match_scalars(m, add_task(), 4);
+}
+
+TEST(CostCurves, EmpiricalBitIdenticalToScalar) {
+  const EmpiricalModel m(mtsched::platform::bayreuth32(), small_fits());
+  expect_curves_match_scalars(m, mm_task(), 32);
+  expect_curves_match_scalars(m, add_task(), 32);
 }
 
 }  // namespace

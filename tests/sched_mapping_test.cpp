@@ -2,6 +2,10 @@
 // utilities.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
 #include "mtsched/core/error.hpp"
 #include "mtsched/dag/generator.hpp"
 #include "mtsched/sched/allocation.hpp"
@@ -240,5 +244,228 @@ TEST_P(MappingProperties, AllSchedulesValidate) {
 
 INSTANTIATE_TEST_SUITE_P(Table1, MappingProperties,
                          ::testing::Range<std::size_t>(0, 54, 7));
+
+/// Cost with shape- and size-dependent estimates, honouring the SchedCost
+/// contract (redistribution reads the producer only through kernel and
+/// matrix_dim). Startup makes ties on availability meaningful and the
+/// overhead term exercises the payload-only overlap discount.
+class VariedCost final : public SchedCost {
+ public:
+  double exec_time(const Task& t, int p) const override {
+    const double base = (t.kernel == TaskKernel::MatMul ? 30.0 : 6.0) *
+                        (static_cast<double>(t.matrix_dim) / 1000.0);
+    return base / p;
+  }
+  double startup_time(int p) const override { return 0.1 + 0.02 * p; }
+  double redist_time(const Task& t, int p_src, int p_dst) const override {
+    return redist_overhead_time(p_src, p_dst) +
+           (static_cast<double>(t.matrix_dim) / 1000.0) *
+               (0.3 + 0.04 * p_src + 0.06 * p_dst);
+  }
+  double redist_overhead_time(int, int p_dst) const override {
+    return 0.05 + 0.01 * p_dst;
+  }
+};
+
+/// Naive list-mapping reference: rescans the whole priority list per
+/// placement and re-evaluates every redistribution estimate with fresh
+/// scalar cost calls, exactly as the pre-ready-queue implementation did.
+/// The production mapper (ready queue, memoized redistribution curves,
+/// incremental availability ranking, bitmask overlap counting) must match
+/// it placement-for-placement, bit-for-bit.
+Schedule reference_list_map(const Dag& g, const std::vector<int>& alloc,
+                            const SchedCost& cost, int P,
+                            MappingStrategy strategy,
+                            double locality_weight = 1.0) {
+  std::vector<double> tau(g.num_tasks());
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    tau[t] = cost.task_time(g.task(t), alloc[t]);
+  }
+  std::vector<double> bl(g.num_tasks(), 0.0);
+  const auto order_topo = g.topological_order();
+  for (auto it = order_topo.rbegin(); it != order_topo.rend(); ++it) {
+    const TaskId t = *it;
+    bl[t] = tau[t];
+    for (TaskId s : g.successors(t)) bl[t] = std::max(bl[t], tau[t] + bl[s]);
+  }
+  std::vector<TaskId> order(g.num_tasks());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    if (bl[a] != bl[b]) return bl[a] > bl[b];
+    return a < b;
+  });
+  std::vector<bool> placed(g.num_tasks(), false);
+
+  Schedule s;
+  s.placements.resize(g.num_tasks());
+  s.proc_order.assign(static_cast<std::size_t>(P), {});
+  std::vector<double> proc_ready(static_cast<std::size_t>(P), 0.0);
+
+  for (std::size_t placed_count = 0; placed_count < g.num_tasks();
+       ++placed_count) {
+    TaskId chosen = kInvalidTask;
+    for (TaskId cand : order) {
+      if (placed[cand]) continue;
+      bool ready = true;
+      for (TaskId p : g.predecessors(cand)) {
+        if (!placed[p]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        chosen = cand;
+        break;
+      }
+    }
+    const int p_t = alloc[chosen];
+
+    std::vector<bool> holds_input(static_cast<std::size_t>(P), false);
+    double producers_done = 0.0;
+    double mean_redist = 0.0;
+    for (TaskId q : g.predecessors(chosen)) {
+      const auto& qp = s.placements[q];
+      producers_done = std::max(producers_done, qp.est_finish);
+      mean_redist +=
+          cost.redist_time(g.task(q), static_cast<int>(qp.procs.size()), p_t);
+      for (int pr : qp.procs) holds_input[static_cast<std::size_t>(pr)] = true;
+    }
+    if (!g.predecessors(chosen).empty()) {
+      mean_redist /= static_cast<double>(g.predecessors(chosen).size());
+    }
+
+    auto data_ready_on = [&](const std::vector<int>& set) {
+      double ready = 0.0;
+      for (TaskId q : g.predecessors(chosen)) {
+        const auto& qp = s.placements[q];
+        const int p_q = static_cast<int>(qp.procs.size());
+        double redist = cost.redist_time(g.task(q), p_q, p_t);
+        if (strategy == MappingStrategy::RedistributionAware) {
+          int overlap = 0;
+          for (int pr : set) {
+            if (std::find(qp.procs.begin(), qp.procs.end(), pr) !=
+                qp.procs.end()) {
+              ++overlap;
+            }
+          }
+          const double overhead = cost.redist_overhead_time(p_q, p_t);
+          const double payload = std::max(0.0, redist - overhead);
+          const double remote_frac =
+              1.0 - static_cast<double>(overlap) / static_cast<double>(p_t);
+          redist = overhead + payload * remote_frac;
+        }
+        ready = std::max(ready, qp.est_finish + redist);
+      }
+      return ready;
+    };
+    auto start_on = [&](const std::vector<int>& set) {
+      double avail = 0.0;
+      for (int pr : set) {
+        avail = std::max(avail, proc_ready[static_cast<std::size_t>(pr)]);
+      }
+      return std::max(data_ready_on(set), avail);
+    };
+    auto top_p = [&](auto&& less) {
+      std::vector<int> all(static_cast<std::size_t>(P));
+      std::iota(all.begin(), all.end(), 0);
+      std::stable_sort(all.begin(), all.end(), less);
+      all.resize(static_cast<std::size_t>(p_t));
+      std::sort(all.begin(), all.end());
+      return all;
+    };
+
+    auto est_set = top_p([&](int a, int b) {
+      return proc_ready[static_cast<std::size_t>(a)] <
+             proc_ready[static_cast<std::size_t>(b)];
+    });
+
+    std::vector<int> procs;
+    if (strategy == MappingStrategy::EarliestStart) {
+      procs = std::move(est_set);
+    } else {
+      auto loc_set = top_p([&](int a, int b) {
+        auto score = [&](int pr) {
+          const auto idx = static_cast<std::size_t>(pr);
+          const double effective = std::max(proc_ready[idx], producers_done);
+          const double bonus =
+              holds_input[idx] ? locality_weight * mean_redist : 0.0;
+          return effective - bonus;
+        };
+        const double sa = score(a);
+        const double sb = score(b);
+        if (sa != sb) return sa < sb;
+        return proc_ready[static_cast<std::size_t>(a)] <
+               proc_ready[static_cast<std::size_t>(b)];
+      });
+      procs = start_on(loc_set) < start_on(est_set) ? std::move(loc_set)
+                                                    : std::move(est_set);
+    }
+
+    const double start = start_on(procs);
+    const double finish = start + tau[chosen];
+
+    auto& pl = s.placements[chosen];
+    pl.procs = procs;
+    pl.est_start = start;
+    pl.est_finish = finish;
+    for (int pr : procs) {
+      proc_ready[static_cast<std::size_t>(pr)] = finish;
+      s.proc_order[static_cast<std::size_t>(pr)].push_back(chosen);
+    }
+    placed[chosen] = true;
+    s.est_makespan = std::max(s.est_makespan, finish);
+  }
+  return s;
+}
+
+void expect_schedules_identical(const Schedule& fast, const Schedule& ref,
+                                const char* what) {
+  ASSERT_EQ(fast.placements.size(), ref.placements.size()) << what;
+  for (std::size_t t = 0; t < fast.placements.size(); ++t) {
+    EXPECT_EQ(fast.placements[t].procs, ref.placements[t].procs)
+        << what << " task " << t;
+    // Exact double equality: the fast mapper must evaluate identical
+    // expressions over identical operands, not merely agree to tolerance.
+    EXPECT_EQ(fast.placements[t].est_start, ref.placements[t].est_start)
+        << what << " task " << t;
+    EXPECT_EQ(fast.placements[t].est_finish, ref.placements[t].est_finish)
+        << what << " task " << t;
+  }
+  EXPECT_EQ(fast.proc_order, ref.proc_order) << what;
+  EXPECT_EQ(fast.est_makespan, ref.est_makespan) << what;
+}
+
+/// Sweep: the ready-queue mapper reproduces the naive rescan reference
+/// bit-for-bit on random DAGs, for both strategies. P = 70 exercises the
+/// stamp-based overlap fallback (bitmask path covers P <= 64 only).
+class MappingEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(MappingEquivalence, ReadyQueueMatchesNaiveReference) {
+  DagGenParams p;
+  p.num_tasks = 30 + GetParam() * 19;
+  p.width = 2 + GetParam() % 5;
+  p.add_ratio = 0.4;
+  p.matrix_dim = 1000 + 250 * (GetParam() % 4);
+  p.seed = static_cast<std::uint64_t>(GetParam()) * 97 + 11;
+  const auto inst = generate_random_dag(p);
+  const VariedCost cost;
+  for (int P : {4, 32, 70}) {
+    const auto alloc = HcpaAllocator{}.allocate(inst.graph, cost, P);
+    for (auto strategy : {MappingStrategy::EarliestStart,
+                          MappingStrategy::RedistributionAware}) {
+      const auto fast =
+          ListMapper(strategy).map(inst.graph, alloc, cost, P);
+      const auto ref =
+          reference_list_map(inst.graph, alloc, cost, P, strategy);
+      expect_schedules_identical(
+          fast, ref,
+          strategy == MappingStrategy::EarliestStart ? "earliest"
+                                                     : "redist_aware");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, MappingEquivalence,
+                         ::testing::Range(0, 8));
 
 }  // namespace
