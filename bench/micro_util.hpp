@@ -83,8 +83,8 @@ inline int run_micro_suite(const std::string& name, int argc, char** argv) {
       normalize = true;
     } else if (arg == "--metrics") {
       metrics = true;
-    } else if (const auto v = value_of("--trace-cap")) {
-      trace_cap = static_cast<std::size_t>(std::atoll(v->c_str()));
+    } else if (const auto cap = value_of("--trace-cap")) {
+      trace_cap = static_cast<std::size_t>(std::atoll(cap->c_str()));
     } else {
       rest.push_back(argv[i]);
     }

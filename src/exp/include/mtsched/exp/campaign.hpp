@@ -21,8 +21,9 @@
 // a (suite, dag, model, algorithm) cell do not depend on the experiment
 // seed, so sweeps over many seeds (robustness studies) compute each
 // schedule once and only re-run the emulated cluster execution. The cache
-// is shared across worker threads; hit/miss counts are deterministic
-// because the map is checked-and-inserted under one lock.
+// is the session layer's sharded exp::ScheduleCache shared across worker
+// threads; hit/miss counts are deterministic because keys are expansion
+// cells and each cell sees exactly one miss.
 #pragma once
 
 #include <cstdint>
@@ -140,9 +141,9 @@ struct CampaignMetrics {
   std::string describe() const;
 };
 
-/// Progress snapshot passed to the legacy callback after every finished
-/// job. The callback runs under the runner's bookkeeping lock: keep it
-/// cheap and do not call back into the campaign. New code should observe
+/// Progress snapshot passed to the deprecated legacy callback after every
+/// finished job. The callback runs under the runner's bookkeeping lock:
+/// keep it cheap and do not call back into the campaign. Observe
 /// campaigns through obs::Sink instead (see Campaign::run).
 struct CampaignProgress {
   std::size_t jobs_done = 0;
@@ -194,8 +195,13 @@ class Campaign {
   CampaignResult run(const CampaignSpec& spec,
                      obs::Sink* sink = nullptr) const;
 
-  /// Legacy adapter: wraps `progress` in an internal sink. Kept so
-  /// pre-sink callers (benches, scripts) compile unchanged.
+  /// Legacy adapter: wraps `progress` in an internal sink. This is the
+  /// one compatibility shim kept for out-of-tree callers; everything
+  /// in-tree observes campaigns through obs::Sink. Scheduled for removal
+  /// once downstream scripts have migrated.
+  [[deprecated(
+      "observe campaigns through obs::Sink (run(spec, sink)); the "
+      "ProgressFn adapter is a compatibility shim")]]
   CampaignResult run(const CampaignSpec& spec,
                      const ProgressFn& progress) const;
 

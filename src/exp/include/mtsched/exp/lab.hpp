@@ -67,6 +67,11 @@ class Lab {
 
   const models::CostModel& model(models::CostModelKind kind) const;
 
+  /// Resolves by spec.kind (e.g. models::ModelSpec::parse("profile"));
+  /// the spec's construction params are ignored — a lab's models are
+  /// built from its own platform, tables and fits.
+  const models::CostModel& model(const models::ModelSpec& spec) const;
+
  private:
   void wire(const LabConfig& cfg);
 

@@ -1,0 +1,63 @@
+// Wire codec of the mtsched scheduling service: schema "mtsched.rpc.v1".
+//
+// Transport framing lives in core/net.hpp (4-byte big-endian length +
+// payload); this header defines the payloads — single JSON objects,
+// written with deterministic member order and core::fmt_roundtrip
+// doubles so numbers survive the wire bit-exactly (the service's
+// byte-identical-to-local-run contract rests on this). 64-bit seeds
+// travel as JSON *strings*, not numbers: the reader parses numbers as
+// doubles, which would silently round seeds above 2^53.
+//
+// Requests:
+//   {"schema":"mtsched.rpc.v1","type":"schedule","algorithm":"HCPA",
+//    "mapping":"earliest"|"redist_aware","model":"<cost-model name>",
+//    "exp_seed":"42","execute":true,"dag":"<dag::to_text format>"}
+//   {"schema":"mtsched.rpc.v1","type":"ping"}
+//   {"schema":"mtsched.rpc.v1","type":"shutdown"}
+// Response:
+//   {"schema":"mtsched.rpc.v1","type":"response","status":0,
+//    "status_name":"ok","message":"","model":"profile","algorithm":"HCPA",
+//    "exp_seed":"42","executed":true,"est_makespan":...,
+//    "makespan_sim":...,"makespan_exp":...,"allocation":[...]}
+//
+// Version policy: a peer speaking a different schema string is rejected
+// with core::ParseError — v1 has no negotiation (additive fields would
+// ship as "mtsched.rpc.v2" side by side).
+#pragma once
+
+#include <string>
+
+#include "mtsched/exp/session.hpp"
+
+namespace mtsched::exp {
+
+inline constexpr const char* kRpcSchema = "mtsched.rpc.v1";
+
+/// One decoded request frame.
+struct RpcRequest {
+  enum class Type {
+    Schedule,  ///< run the scheduling pipeline (the payload below)
+    Ping,      ///< liveness probe; answered with an Ok response
+    Shutdown,  ///< stop the server after acknowledging
+  };
+
+  Type type = Type::Schedule;
+  ScheduleRequest schedule;  ///< meaningful for Type::Schedule only
+};
+
+std::string encode_request(const ScheduleRequest& req);
+std::string encode_ping();
+std::string encode_shutdown();
+
+/// Decodes one request payload. Throws core::ParseError on malformed
+/// JSON / schema mismatch / unknown type or mapping, and
+/// core::InvalidArgument on an unknown cost-model name.
+RpcRequest parse_request(const std::string& payload);
+
+std::string encode_response(const ScheduleResponse& resp);
+
+/// Decodes one response payload. Throws core::ParseError on malformed
+/// input (including unknown status codes).
+ScheduleResponse parse_response(const std::string& payload);
+
+}  // namespace mtsched::exp

@@ -1,0 +1,121 @@
+// The mtsched rpc server: accepts loopback connections, decodes
+// mtsched.rpc.v1 frames (see rpc.hpp) and serves them through an
+// exp::Service. One handler thread per connection; a connection may
+// pipeline any number of requests and gets exactly one response frame
+// per request, in order.
+//
+// Protocol errors are answered in-band where possible: an undecodable
+// payload gets a BadRequest response on the same connection (the frame
+// boundary is still intact); an oversized or truncated *frame* gets a
+// best-effort BadRequest and the connection dropped (the byte stream can
+// no longer be trusted). Admission-control rejections come back as
+// Overloaded responses — the connection stays usable for retries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mtsched/core/net.hpp"
+#include "mtsched/exp/service.hpp"
+
+namespace mtsched::exp {
+
+struct RpcServerConfig {
+  std::uint16_t port = 0;  ///< 0 picks an ephemeral port (see port())
+  std::size_t max_frame_bytes = core::net::kDefaultMaxFrameBytes;
+};
+
+/// Cumulative server statistics (monotone counters, readable live).
+struct RpcServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;         ///< decoded schedule/ping/shutdown
+  std::uint64_t rejected = 0;         ///< Overloaded responses sent
+  std::uint64_t protocol_errors = 0;  ///< undecodable frames or payloads
+};
+
+class RpcServer {
+ public:
+  /// Binds immediately (so port() is valid before serve()); `service`
+  /// must outlive the server. Throws core::Error when binding fails.
+  explicit RpcServer(Service& service, RpcServerConfig cfg = {});
+
+  /// Stops accepting and joins every handler still running.
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Accept loop: blocks until shutdown() (from another thread or via a
+  /// shutdown rpc), then joins all connection handlers. Call from exactly
+  /// one thread.
+  void serve();
+
+  /// Stops the accept loop and half-closes the read side of every open
+  /// connection: idle handlers wake with EOF and exit, while a handler
+  /// mid-request still delivers the response it owes before exiting.
+  /// Idempotent, callable from any thread and from handler threads.
+  void shutdown();
+
+  bool stopping() const {
+    return stopping_.load(std::memory_order_acquire);
+  }
+
+  RpcServerStats stats() const;
+
+ private:
+  using ConnIter = std::list<core::net::Socket>::iterator;
+
+  void handle(ConnIter conn);
+  void serve_connection(const core::net::Socket& sock);
+  void respond(const core::net::Socket& sock, const ScheduleResponse& resp);
+
+  Service& service_;
+  const RpcServerConfig cfg_;
+  core::net::Listener listener_;
+  std::atomic<bool> stopping_{false};
+  std::mutex handlers_mutex_;
+  std::vector<std::thread> handlers_;
+  /// Open connection sockets, so shutdown() can wake blocked handlers.
+  /// A std::list keeps iterators stable while handlers come and go.
+  std::mutex conns_mutex_;
+  std::list<core::net::Socket> conns_;
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+/// Minimal blocking client for the rpc protocol — used by `mtsched_cli
+/// request`, the loopback tests and the throughput bench. One connection,
+/// one request in flight at a time; not thread-safe (use one client per
+/// thread).
+class RpcClient {
+ public:
+  /// Connects immediately. Throws core::Error when the connection fails.
+  RpcClient(const std::string& host, std::uint16_t port,
+            std::size_t max_frame_bytes = core::net::kDefaultMaxFrameBytes);
+
+  /// One schedule round trip. Request-level problems come back as
+  /// response status codes; only transport failures throw.
+  ScheduleResponse call(const ScheduleRequest& req);
+
+  /// Liveness probe (Ok/"pong" on a healthy server).
+  ScheduleResponse ping();
+
+  /// Asks the server to stop accepting; returns its acknowledgement.
+  ScheduleResponse request_shutdown();
+
+ private:
+  ScheduleResponse roundtrip(const std::string& payload);
+
+  core::net::Socket sock_;
+  std::size_t max_frame_bytes_;
+};
+
+}  // namespace mtsched::exp

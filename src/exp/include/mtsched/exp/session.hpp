@@ -1,0 +1,176 @@
+// The session layer: one lab, one sharded schedule-memo cache, one typed
+// request/response API — the piece every mtsched front end shares.
+//
+// Historically each front end re-implemented the "schedule + simulate +
+// execute" pipeline: the CLI `run` command inline, exp::Campaign inside
+// its job loop, every bench by hand. Session extracts that pipeline
+// behind typed ScheduleRequest/ScheduleResponse structs with explicit
+// error codes, so
+//   * `mtsched_cli run` is a thin client that renders a response,
+//   * the `mtsched serve` daemon executes the same code path per rpc
+//     request (responses are byte-identical to a local run by
+//     construction), and
+//   * exp::Campaign's memoized schedule stage sits on the same
+//     ScheduleCache machinery.
+//
+// The schedule-memo cache is sharded: requests hash to one of N shards,
+// each with its own lock, so concurrent requests for different DAGs do
+// not contend on a single cache mutex. Within a cell the first arrival
+// computes behind a shared_future and later arrivals (same DAG, model
+// and algorithm — "compatible requests") wait for and reuse it; the
+// platform is fixed by the session's lab, so it needs no key component.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mtsched/exp/lab.hpp"
+#include "mtsched/models/factory.hpp"
+#include "mtsched/sched/schedule.hpp"
+#include "mtsched/sched/trace.hpp"
+
+namespace mtsched::exp {
+
+/// Outcome classification of a service-layer request. The numeric values
+/// are the wire protocol's status codes (HTTP-flavoured on purpose:
+/// familiar semantics, no new taxonomy to learn).
+enum class ServiceStatus : int {
+  Ok = 0,
+  BadRequest = 400,  ///< malformed DAG / unknown algorithm or model
+  Overloaded = 429,  ///< admission control rejected the request
+  Internal = 500,    ///< invariant violation inside the pipeline
+};
+
+/// Short stable name for logs and wire messages ("ok", "bad_request", ...).
+const char* status_name(ServiceStatus s);
+
+/// One scheduling/simulation request — everything needed to reproduce
+/// the paper's per-DAG experiment, in one typed struct.
+struct ScheduleRequest {
+  std::string dag_text;            ///< DAG in the dag::to_text line format
+  std::string algorithm = "HCPA";  ///< sched::make_allocator name
+  bool redist_aware = false;       ///< mapping strategy toggle
+  models::ModelSpec model;         ///< resolved against the lab by kind
+  std::uint64_t exp_seed = 42;     ///< cluster weather of the execution
+  bool execute = true;  ///< also run the emulated cluster (the experiment)
+};
+
+/// The response. On status != Ok only `message` (and the echoed
+/// identity fields, when they parsed) is meaningful.
+struct ScheduleResponse {
+  ServiceStatus status = ServiceStatus::Ok;
+  std::string message;    ///< human-readable error detail; empty on Ok
+  std::string model;      ///< resolved cost-model name
+  std::string algorithm;  ///< echoed allocator name
+  std::uint64_t exp_seed = 0;
+  double est_makespan = 0.0;   ///< the scheduler's own prediction
+  double makespan_sim = 0.0;   ///< simulated under the cost model
+  double makespan_exp = 0.0;   ///< measured on the emulated cluster
+  bool executed = false;       ///< whether makespan_exp is meaningful
+  std::vector<int> allocation; ///< per-task processor counts
+
+  bool ok() const { return status == ServiceStatus::Ok; }
+};
+
+/// The memoized, experiment-seed-independent half of a request: the
+/// schedule and its simulated makespan depend only on (DAG, model,
+/// algorithm), never on the cluster weather seed.
+struct ScheduleMemo {
+  sched::Schedule schedule;
+  double makespan_sim = 0.0;
+};
+
+/// Sharded memoization table for ScheduleMemo cells.
+///
+/// Keys are caller-composed strings (the session uses
+/// "<dag-hash>/<model>/<algorithm>/<mapping>", the campaign its expansion
+/// cell). Each key hashes to one shard with its own mutex; the first
+/// caller of a key computes the memo behind a shared_future while the
+/// shard lock is *released*, so concurrent misses on other keys proceed
+/// in parallel and compatible requests batch onto one computation.
+/// A compute that throws propagates to every waiter of that cell and is
+/// not retried (the same inputs would fail the same way).
+class ScheduleCache {
+ public:
+  /// `num_shards` is clamped below by 1; 16 spreads lock contention
+  /// well past the pool sizes this repo runs (<= 64 workers).
+  explicit ScheduleCache(std::size_t num_shards = 16);
+
+  using Compute = std::function<ScheduleMemo()>;
+
+  /// The memo for `key`, computing it via `compute` exactly once per key
+  /// across all threads. `hit` (optional) reports whether this call
+  /// reused an existing cell — deterministic per key: one miss, then
+  /// hits.
+  std::shared_ptr<const ScheduleMemo> get_or_compute(
+      const std::string& key, const Compute& compute,
+      bool* hit = nullptr) const;
+
+  /// Number of cells (computed + in flight).
+  std::size_t size() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string,
+                       std::shared_future<std::shared_ptr<const ScheduleMemo>>>
+        cells;
+  };
+
+  Shard& shard_for(const std::string& key) const;
+
+  mutable std::vector<Shard> shards_;
+};
+
+/// Side products of one request beyond the response numbers, for front
+/// ends that render more than the makespans (Gantt charts, traces).
+struct RunArtifacts {
+  sched::Schedule schedule;
+  sched::RunTrace exp_trace;  ///< filled only when the request executes
+};
+
+struct SessionOptions {
+  std::size_t cache_shards = 16;
+};
+
+/// One lab + one schedule cache. Thread-safe: requests may be served
+/// concurrently from pool workers (exp::Service does exactly that).
+class Session {
+ public:
+  /// `lab` must outlive the session.
+  explicit Session(const Lab& lab, SessionOptions opt = {});
+
+  /// Serves one request. Never throws for request-level problems — they
+  /// come back as status codes with a message; only genuine library bugs
+  /// (core::InternalError) escalate to Internal, still in-band.
+  /// Emits spans onto the calling thread's ambient obs context like the
+  /// rest of the pipeline. `artifacts` (optional) receives the schedule
+  /// and, when the request executes, the full experiment trace.
+  ScheduleResponse run(const ScheduleRequest& req,
+                       RunArtifacts* artifacts = nullptr) const;
+
+  const Lab& lab() const { return lab_; }
+
+  /// Cumulative schedule-memo cache statistics across all requests.
+  std::uint64_t cache_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cache_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const Lab& lab_;
+  ScheduleCache cache_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace mtsched::exp

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,6 +12,7 @@
 #include "mtsched/core/error.hpp"
 #include "mtsched/core/rng.hpp"
 #include "mtsched/core/thread_pool.hpp"
+#include "mtsched/exp/session.hpp"
 #include "mtsched/sched/allocation.hpp"
 #include "mtsched/sim/simulator.hpp"
 
@@ -25,12 +25,6 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
-
-/// The memoized, experiment-seed-independent half of a job.
-struct ScheduleMemo {
-  sched::Schedule schedule;
-  double makespan_sim = 0.0;
-};
 
 /// Sink that turns obs::Progress pulses back into the legacy
 /// CampaignProgress callback. Holds its own registry so the adapter can
@@ -317,59 +311,46 @@ CampaignResult Campaign::run(const CampaignSpec& spec,
   obs::Histogram* exec_hist =
       mreg != nullptr ? &mreg->histogram("campaign.execute_seconds") : nullptr;
 
-  // Parallel stage. The memo cache is shared: the first job of a
-  // (suite, dag, model, algorithm) cell computes the schedule and the
-  // simulated makespan behind a shared_future; later jobs (other
-  // experiment seeds) reuse it and only run the emulator.
+  // Parallel stage. The memo cache is the session layer's sharded
+  // ScheduleCache: the first job of a (suite, dag, model, algorithm)
+  // cell computes the schedule and the simulated makespan behind a
+  // shared_future; later jobs (other experiment seeds) reuse it and only
+  // run the emulator. Keys are per expansion cell, so hit/miss totals
+  // stay exactly what the expansion dictates regardless of sharding.
   const auto run_start = Clock::now();
-  std::mutex state_mutex;  // cache map, metric accumulation, progress
-  std::unordered_map<std::size_t,
-                     std::shared_future<std::shared_ptr<const ScheduleMemo>>>
-      cache;
+  std::mutex state_mutex;  // metric accumulation, progress
+  ScheduleCache cache;
   std::size_t jobs_done = 0;
 
   const auto run_job = [&](std::size_t i) {
     const Job& job = jobs[i];
-    std::promise<std::shared_ptr<const ScheduleMemo>> fill;
-    std::shared_future<std::shared_ptr<const ScheduleMemo>> memo_future;
-    bool compute = false;
-    {
-      std::unique_lock lock(state_mutex);
-      const auto it = cache.find(job.memo_key);
-      if (it != cache.end()) {
-        memo_future = it->second;
-        ++result.metrics.cache_hits;
-        if (hits_ctr != nullptr) hits_ctr->add();
-      } else {
-        memo_future = fill.get_future().share();
-        cache.emplace(job.memo_key, memo_future);
-        ++result.metrics.cache_misses;
-        if (misses_ctr != nullptr) misses_ctr->add();
-        compute = true;
-      }
-    }
-
     double schedule_seconds = 0.0;
-    if (compute) {
-      const auto t0 = Clock::now();
-      try {
-        // Whichever job wins the race emits the same allocation/mapping/
-        // simulation events onto the same per-cell lane — the trace does
-        // not betray who computed it (hit/miss lives in metrics only).
-        const obs::ScopedContext obs_ctx(job.memo_track, mreg);
-        auto memo = std::make_shared<ScheduleMemo>();
-        memo->schedule = (*job.schedule)(job.dag->graph, *job.model, P);
-        memo->makespan_sim =
-            sim::Simulator(*job.model).makespan(job.dag->graph, memo->schedule);
-        fill.set_value(std::move(memo));
-      } catch (...) {
-        fill.set_exception(std::current_exception());
-      }
-      schedule_seconds = seconds_since(t0);
-      if (sched_hist != nullptr) sched_hist->observe(schedule_seconds);
+    bool hit = false;
+    // A schedule failure rethrows out of get_or_compute into every job
+    // of the cell, exactly like the former future-based cache.
+    const auto memo = cache.get_or_compute(
+        std::to_string(job.memo_key),
+        [&]() {
+          const auto t0 = Clock::now();
+          // Whichever job wins the race emits the same allocation/mapping/
+          // simulation events onto the same per-cell lane — the trace does
+          // not betray who computed it (hit/miss lives in metrics only).
+          const obs::ScopedContext obs_ctx(job.memo_track, mreg);
+          ScheduleMemo m;
+          m.schedule = (*job.schedule)(job.dag->graph, *job.model, P);
+          m.makespan_sim =
+              sim::Simulator(*job.model).makespan(job.dag->graph, m.schedule);
+          schedule_seconds = seconds_since(t0);
+          if (sched_hist != nullptr) sched_hist->observe(schedule_seconds);
+          return m;
+        },
+        &hit);
+    if (hit) {
+      if (hits_ctr != nullptr) hits_ctr->add();
+    } else {
+      if (misses_ctr != nullptr) misses_ctr->add();
     }
 
-    const auto memo = memo_future.get();  // rethrows schedule failures
     const auto t1 = Clock::now();
     double makespan_exp = 0.0;
     {
@@ -387,6 +368,7 @@ CampaignResult Campaign::run(const CampaignSpec& spec,
     if (jobs_ctr != nullptr) jobs_ctr->add();
     {
       std::unique_lock lock(state_mutex);
+      ++(hit ? result.metrics.cache_hits : result.metrics.cache_misses);
       result.metrics.schedule_seconds += schedule_seconds;
       result.metrics.execute_seconds += execute_seconds;
       ++jobs_done;

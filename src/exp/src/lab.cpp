@@ -30,14 +30,19 @@ void Lab::wire(const LabConfig& cfg) {
   const profiling::RegressionBuilder builder(*profiler_);
   empirical_build_ = builder.build(cfg.profiling, cfg.sample_plan);
 
-  models::CostModelInputs inputs;
-  inputs.spec = spec_;
-  inputs.profile = &tables;
-  inputs.empirical = &empirical_build_.fits;
+  models::ModelSpec model_spec;
+  model_spec.platform = spec_;
+  model_spec.profile = &tables;
+  model_spec.empirical = &empirical_build_.fits;
   for (const auto kind : models::all_kinds()) {
+    model_spec.kind = kind;
     models_.at(static_cast<std::size_t>(kind)) =
-        models::make_cost_model(kind, inputs);
+        models::make_cost_model(model_spec);
   }
+}
+
+const models::CostModel& Lab::model(const models::ModelSpec& spec) const {
+  return model(spec.kind);
 }
 
 const models::CostModel& Lab::model(models::CostModelKind kind) const {

@@ -1,0 +1,172 @@
+#include "mtsched/exp/server.hpp"
+
+#include <utility>
+
+#include "mtsched/core/error.hpp"
+#include "mtsched/exp/rpc.hpp"
+
+namespace mtsched::exp {
+
+RpcServer::RpcServer(Service& service, RpcServerConfig cfg)
+    : service_(service), cfg_(cfg), listener_(cfg.port) {}
+
+RpcServer::~RpcServer() {
+  shutdown();
+  std::vector<std::thread> handlers;
+  {
+    std::unique_lock lock(handlers_mutex_);
+    handlers.swap(handlers_);
+  }
+  for (auto& t : handlers) t.join();
+}
+
+void RpcServer::serve() {
+  while (!stopping()) {
+    core::net::Socket sock;
+    try {
+      sock = listener_.accept();
+    } catch (const core::Error&) {
+      // accept() fails once shutdown() half-closed the listener; anything
+      // else is a real error worth surfacing.
+      if (stopping()) break;
+      throw;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    ConnIter conn;
+    {
+      std::unique_lock lock(conns_mutex_);
+      conn = conns_.insert(conns_.end(), std::move(sock));
+      // shutdown() may have run between accept() and this insert; it
+      // holds conns_mutex_ while sweeping, so either it saw this socket
+      // or we see stopping_ here and close the straggler ourselves.
+      if (stopping()) conn->shutdown_read();
+    }
+    std::unique_lock lock(handlers_mutex_);
+    handlers_.emplace_back(&RpcServer::handle, this, conn);
+  }
+  // shutdown() half-closed every open connection, so handlers finish the
+  // request they owe (if any) and exit promptly.
+  std::vector<std::thread> handlers;
+  {
+    std::unique_lock lock(handlers_mutex_);
+    handlers.swap(handlers_);
+  }
+  for (auto& t : handlers) t.join();
+}
+
+void RpcServer::shutdown() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  listener_.close();  // wakes a blocked accept()
+  // Wake handlers blocked waiting for the next frame. Read-side only:
+  // a handler mid-request can still write the response it owes.
+  std::unique_lock lock(conns_mutex_);
+  for (const auto& sock : conns_) sock.shutdown_read();
+}
+
+RpcServerStats RpcServer::stats() const {
+  RpcServerStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void RpcServer::respond(const core::net::Socket& sock,
+                        const ScheduleResponse& resp) {
+  core::net::write_frame(sock, encode_response(resp), cfg_.max_frame_bytes);
+}
+
+void RpcServer::handle(ConnIter conn) {
+  serve_connection(*conn);
+  std::unique_lock lock(conns_mutex_);
+  conns_.erase(conn);
+}
+
+void RpcServer::serve_connection(const core::net::Socket& sock) {
+  try {
+    while (true) {
+      std::optional<std::string> payload;
+      try {
+        payload = core::net::read_frame(sock, cfg_.max_frame_bytes);
+      } catch (const core::Error& e) {
+        // Oversized or truncated frame: the byte stream is unsound, so
+        // answer best-effort and drop the connection.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        ScheduleResponse err;
+        err.status = ServiceStatus::BadRequest;
+        err.message = e.what();
+        try {
+          respond(sock, err);
+        } catch (...) {
+        }
+        return;
+      }
+      if (!payload.has_value()) return;  // client hung up cleanly
+
+      RpcRequest req;
+      try {
+        req = parse_request(*payload);
+      } catch (const core::Error& e) {
+        // Undecodable payload inside an intact frame: report and keep
+        // the connection — the next frame boundary is still trustworthy.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        ScheduleResponse err;
+        err.status = ServiceStatus::BadRequest;
+        err.message = e.what();
+        respond(sock, err);
+        continue;
+      }
+
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      if (req.type == RpcRequest::Type::Ping) {
+        ScheduleResponse pong;
+        pong.message = "pong";
+        respond(sock, pong);
+        continue;
+      }
+      if (req.type == RpcRequest::Type::Shutdown) {
+        ScheduleResponse ack;
+        ack.message = "shutting down";
+        respond(sock, ack);
+        shutdown();
+        return;
+      }
+
+      const ScheduleResponse resp = service_.call(req.schedule);
+      if (resp.status == ServiceStatus::Overloaded) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+      }
+      respond(sock, resp);
+    }
+  } catch (...) {
+    // Peer vanished mid-write (or similar): drop the connection. The
+    // service itself never throws request-level errors.
+  }
+}
+
+RpcClient::RpcClient(const std::string& host, std::uint16_t port,
+                     std::size_t max_frame_bytes)
+    : sock_(core::net::connect_to(host, port)),
+      max_frame_bytes_(max_frame_bytes) {}
+
+ScheduleResponse RpcClient::call(const ScheduleRequest& req) {
+  return roundtrip(encode_request(req));
+}
+
+ScheduleResponse RpcClient::ping() { return roundtrip(encode_ping()); }
+
+ScheduleResponse RpcClient::request_shutdown() {
+  return roundtrip(encode_shutdown());
+}
+
+ScheduleResponse RpcClient::roundtrip(const std::string& payload) {
+  core::net::write_frame(sock_, payload, max_frame_bytes_);
+  const auto reply = core::net::read_frame(sock_, max_frame_bytes_);
+  if (!reply.has_value()) {
+    throw core::Error("rpc server closed the connection before replying");
+  }
+  return parse_response(*reply);
+}
+
+}  // namespace mtsched::exp

@@ -18,13 +18,27 @@
 
 namespace mtsched::models {
 
-/// Everything a model constructor may need. `spec` is always required;
-/// the table/fit pointers are only dereferenced by the kinds that need
-/// them (Profile and Empirical respectively) and must outlive the call.
-struct CostModelInputs {
-  platform::ClusterSpec spec;
+/// Which cost model, plus everything its constructor may need — the one
+/// currency for naming a model across the lab, the factory, the CLI and
+/// the service layer (no more parallel string/enum arguments).
+///
+/// `platform` is always required for construction; the table/fit pointers
+/// are only dereferenced by the kinds that need them (Profile and
+/// Empirical respectively) and must outlive the call. Resolution-only
+/// consumers (exp::Lab::model, the rpc layer) read `kind` alone and
+/// ignore the construction params.
+struct ModelSpec {
+  CostModelKind kind = CostModelKind::Profile;
+  platform::ClusterSpec platform;
   const ProfileTables* profile = nullptr;
   const EmpiricalFits* empirical = nullptr;
+
+  /// Name -> spec with default construction params. Throws
+  /// core::InvalidArgument listing the valid names.
+  static ModelSpec parse(const std::string& name);
+
+  /// The user-facing name of `kind` ("analytical", "profile", ...).
+  std::string name() const;
 };
 
 /// Every registered kind, in enum (= paper presentation) order.
@@ -37,13 +51,8 @@ CostModelKind parse_kind(const std::string& name);
 /// unknown name or an empty list.
 std::vector<CostModelKind> parse_kind_list(const std::string& csv);
 
-/// Builds the model for `kind`. Throws core::InvalidArgument when the
-/// inputs required by that kind are missing.
-std::unique_ptr<CostModel> make_cost_model(CostModelKind kind,
-                                           const CostModelInputs& inputs);
-
-/// Convenience: parse_kind + make_cost_model.
-std::unique_ptr<CostModel> make_cost_model(const std::string& name,
-                                           const CostModelInputs& inputs);
+/// Builds the model `spec` describes. Throws core::InvalidArgument when
+/// the params required by spec.kind are missing.
+std::unique_ptr<CostModel> make_cost_model(const ModelSpec& spec);
 
 }  // namespace mtsched::models

@@ -65,26 +65,28 @@ std::vector<CostModelKind> parse_kind_list(const std::string& csv) {
   return kinds;
 }
 
-std::unique_ptr<CostModel> make_cost_model(CostModelKind kind,
-                                           const CostModelInputs& inputs) {
-  switch (kind) {
-    case CostModelKind::Analytical:
-      return std::make_unique<AnalyticalModel>(inputs.spec);
-    case CostModelKind::Profile:
-      MTSCHED_REQUIRE(inputs.profile != nullptr,
-                      "the profile model needs measured ProfileTables");
-      return std::make_unique<ProfileModel>(inputs.spec, *inputs.profile);
-    case CostModelKind::Empirical:
-      MTSCHED_REQUIRE(inputs.empirical != nullptr,
-                      "the empirical model needs regression EmpiricalFits");
-      return std::make_unique<EmpiricalModel>(inputs.spec, *inputs.empirical);
-  }
-  throw core::InvalidArgument("unknown cost model kind");
+ModelSpec ModelSpec::parse(const std::string& name) {
+  ModelSpec spec;
+  spec.kind = parse_kind(name);
+  return spec;
 }
 
-std::unique_ptr<CostModel> make_cost_model(const std::string& name,
-                                           const CostModelInputs& inputs) {
-  return make_cost_model(parse_kind(name), inputs);
+std::string ModelSpec::name() const { return kind_name(kind); }
+
+std::unique_ptr<CostModel> make_cost_model(const ModelSpec& spec) {
+  switch (spec.kind) {
+    case CostModelKind::Analytical:
+      return std::make_unique<AnalyticalModel>(spec.platform);
+    case CostModelKind::Profile:
+      MTSCHED_REQUIRE(spec.profile != nullptr,
+                      "the profile model needs measured ProfileTables");
+      return std::make_unique<ProfileModel>(spec.platform, *spec.profile);
+    case CostModelKind::Empirical:
+      MTSCHED_REQUIRE(spec.empirical != nullptr,
+                      "the empirical model needs regression EmpiricalFits");
+      return std::make_unique<EmpiricalModel>(spec.platform, *spec.empirical);
+  }
+  throw core::InvalidArgument("unknown cost model kind");
 }
 
 }  // namespace mtsched::models

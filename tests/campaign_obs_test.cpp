@@ -175,7 +175,12 @@ TEST(CampaignObs, LegacyProgressCallbackStillWorks) {
   const exp::ProgressFn progress = [&](const exp::CampaignProgress& p) {
     pulses.push_back(p);
   };
+  // The ProgressFn overload is a deprecated compatibility shim; this test
+  // is intentionally its last in-tree caller.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const auto result = exp::Campaign(lab().rig()).run(spec, progress);
+#pragma GCC diagnostic pop
 
   ASSERT_EQ(pulses.size(), result.metrics.jobs);
   EXPECT_EQ(pulses.back().jobs_done, result.metrics.jobs);

@@ -1,0 +1,138 @@
+// Sockets + length-prefixed framing (core/net.hpp): loopback round
+// trips, frame-size enforcement, truncation detection, accept interrupt.
+#include "mtsched/core/net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "mtsched/core/error.hpp"
+
+namespace {
+
+using namespace mtsched;
+using namespace mtsched::core::net;
+
+/// One listener + one connected client pair on an ephemeral port.
+struct Loopback {
+  Listener listener{0};
+  Socket client;
+  Socket server;
+
+  Loopback() {
+    std::thread connector(
+        [this] { client = connect_to("127.0.0.1", listener.port()); });
+    server = listener.accept();
+    connector.join();
+  }
+};
+
+TEST(NetSocket, EphemeralPortIsResolved) {
+  Listener listener(0);
+  EXPECT_GT(listener.port(), 0);
+}
+
+TEST(NetSocket, WriteAllReadExactRoundTrip) {
+  Loopback lo;
+  const std::string msg = "hello over loopback";
+  lo.client.write_all(msg.data(), msg.size());
+  std::string got(msg.size(), '\0');
+  ASSERT_TRUE(lo.server.read_exact(got.data(), got.size()));
+  EXPECT_EQ(got, msg);
+}
+
+TEST(NetSocket, ReadExactReportsCleanEof) {
+  Loopback lo;
+  lo.client.close();
+  char byte = 0;
+  EXPECT_FALSE(lo.server.read_exact(&byte, 1));
+}
+
+TEST(NetSocket, EofMidMessageThrows) {
+  Loopback lo;
+  lo.client.write_all("ab", 2);
+  lo.client.close();
+  char buf[8];
+  EXPECT_THROW(lo.server.read_exact(buf, sizeof(buf)), core::Error);
+}
+
+TEST(NetSocket, LocalhostAliasConnects) {
+  Listener listener(0);
+  std::thread connector([&] {
+    const Socket c = connect_to("localhost", listener.port());
+    EXPECT_TRUE(c.valid());
+  });
+  const Socket s = listener.accept();
+  connector.join();
+  EXPECT_TRUE(s.valid());
+}
+
+TEST(NetSocket, BadHostThrows) {
+  EXPECT_THROW(connect_to("not a host", 1), core::InvalidArgument);
+}
+
+TEST(NetFrame, RoundTripsPayloads) {
+  Loopback lo;
+  for (const std::string& payload :
+       {std::string(""), std::string("x"), std::string(100000, 'q')}) {
+    write_frame(lo.client, payload);
+    const auto got = read_frame(lo.server);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+  }
+}
+
+TEST(NetFrame, PipelinedFramesKeepBoundaries) {
+  Loopback lo;
+  write_frame(lo.client, "first");
+  write_frame(lo.client, "");
+  write_frame(lo.client, "third");
+  EXPECT_EQ(read_frame(lo.server).value(), "first");
+  EXPECT_EQ(read_frame(lo.server).value(), "");
+  EXPECT_EQ(read_frame(lo.server).value(), "third");
+}
+
+TEST(NetFrame, EofAtBoundaryIsNullopt) {
+  Loopback lo;
+  write_frame(lo.client, "last");
+  lo.client.close();
+  EXPECT_EQ(read_frame(lo.server).value(), "last");
+  EXPECT_FALSE(read_frame(lo.server).has_value());
+}
+
+TEST(NetFrame, OversizedAnnouncementRejected) {
+  Loopback lo;
+  // A hand-built header announcing 2^31 bytes must be rejected before
+  // any allocation of that size.
+  const unsigned char header[4] = {0x80, 0x00, 0x00, 0x00};
+  lo.client.write_all(header, sizeof(header));
+  EXPECT_THROW((void)read_frame(lo.server), core::ParseError);
+}
+
+TEST(NetFrame, WriterEnforcesTheLimitToo) {
+  Loopback lo;
+  EXPECT_THROW(write_frame(lo.client, std::string(64, 'a'), 16), core::Error);
+}
+
+TEST(NetFrame, TruncatedPayloadThrows) {
+  Loopback lo;
+  const unsigned char header[4] = {0, 0, 0, 10};  // announce 10 bytes...
+  lo.client.write_all(header, sizeof(header));
+  lo.client.write_all("abc", 3);  // ...deliver 3
+  lo.client.close();
+  EXPECT_THROW((void)read_frame(lo.server), core::Error);
+}
+
+TEST(NetListener, CloseInterruptsBlockedAccept) {
+  Listener listener(0);
+  std::thread interrupter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    listener.close();
+  });
+  EXPECT_THROW((void)listener.accept(), core::Error);
+  interrupter.join();
+}
+
+}  // namespace

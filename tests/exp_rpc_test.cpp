@@ -1,0 +1,169 @@
+// Wire-codec tests for mtsched.rpc.v1 (exp/rpc.hpp): request/response
+// round trips, 64-bit seed fidelity, double round-tripping, and the
+// rejection of malformed payloads.
+#include "mtsched/exp/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mtsched/core/error.hpp"
+
+namespace {
+
+using namespace mtsched;
+
+exp::ScheduleRequest sample_request() {
+  exp::ScheduleRequest req;
+  req.dag_text = "task 0 matmul 2000 t0\ntask 1 matadd 2000 t1 0\n";
+  req.algorithm = "MCPA";
+  req.redist_aware = true;
+  req.model = models::ModelSpec::parse("empirical");
+  req.exp_seed = 123456789ull;
+  req.execute = false;
+  return req;
+}
+
+TEST(RpcCodec, RequestRoundTrips) {
+  const auto req = sample_request();
+  const auto decoded = exp::parse_request(exp::encode_request(req));
+  ASSERT_EQ(decoded.type, exp::RpcRequest::Type::Schedule);
+  EXPECT_EQ(decoded.schedule.dag_text, req.dag_text);
+  EXPECT_EQ(decoded.schedule.algorithm, req.algorithm);
+  EXPECT_EQ(decoded.schedule.redist_aware, req.redist_aware);
+  EXPECT_EQ(decoded.schedule.model.name(), "empirical");
+  EXPECT_EQ(decoded.schedule.exp_seed, req.exp_seed);
+  EXPECT_EQ(decoded.schedule.execute, req.execute);
+}
+
+TEST(RpcCodec, EarliestMappingRoundTrips) {
+  auto req = sample_request();
+  req.redist_aware = false;
+  EXPECT_FALSE(exp::parse_request(exp::encode_request(req))
+                   .schedule.redist_aware);
+}
+
+TEST(RpcCodec, SeedsAbove53BitsSurvive) {
+  // Seeds ride as strings precisely because doubles would round this.
+  auto req = sample_request();
+  req.exp_seed = 0xFFFFFFFFFFFFFFFFull;
+  EXPECT_EQ(exp::parse_request(exp::encode_request(req)).schedule.exp_seed,
+            0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(RpcCodec, PingAndShutdownRoundTrip) {
+  EXPECT_EQ(exp::parse_request(exp::encode_ping()).type,
+            exp::RpcRequest::Type::Ping);
+  EXPECT_EQ(exp::parse_request(exp::encode_shutdown()).type,
+            exp::RpcRequest::Type::Shutdown);
+}
+
+TEST(RpcCodec, ResponseRoundTripsBitExactly) {
+  exp::ScheduleResponse resp;
+  resp.status = exp::ServiceStatus::Ok;
+  resp.model = "profile";
+  resp.algorithm = "HCPA";
+  resp.exp_seed = 42;
+  resp.est_makespan = 0.1 + 0.2;  // not representable "nicely"
+  resp.makespan_sim = 1.0 / 3.0;
+  resp.makespan_exp = 98.86213741;
+  resp.executed = true;
+  resp.allocation = {4, 1, 2, 32};
+
+  const auto decoded = exp::parse_response(exp::encode_response(resp));
+  EXPECT_EQ(decoded.status, exp::ServiceStatus::Ok);
+  EXPECT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.model, resp.model);
+  EXPECT_EQ(decoded.algorithm, resp.algorithm);
+  EXPECT_EQ(decoded.exp_seed, resp.exp_seed);
+  // Bit-exact, not approximately: the byte-identity of `request` output
+  // with a local run rests on this.
+  EXPECT_EQ(decoded.est_makespan, resp.est_makespan);
+  EXPECT_EQ(decoded.makespan_sim, resp.makespan_sim);
+  EXPECT_EQ(decoded.makespan_exp, resp.makespan_exp);
+  EXPECT_EQ(decoded.executed, resp.executed);
+  EXPECT_EQ(decoded.allocation, resp.allocation);
+}
+
+TEST(RpcCodec, ErrorStatusesRoundTrip) {
+  for (const auto status :
+       {exp::ServiceStatus::BadRequest, exp::ServiceStatus::Overloaded,
+        exp::ServiceStatus::Internal}) {
+    exp::ScheduleResponse resp;
+    resp.status = status;
+    resp.message = "something \"quoted\"\nwith newlines";
+    const auto decoded = exp::parse_response(exp::encode_response(resp));
+    EXPECT_EQ(decoded.status, status);
+    EXPECT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.message, resp.message);
+  }
+}
+
+TEST(RpcCodec, MalformedPayloadsAreRejected) {
+  // Not JSON at all.
+  EXPECT_THROW((void)exp::parse_request("not json"), core::ParseError);
+  // Valid JSON, wrong shape.
+  EXPECT_THROW((void)exp::parse_request("[1,2,3]"), core::ParseError);
+  // Missing schema.
+  EXPECT_THROW((void)exp::parse_request("{\"type\":\"ping\"}"),
+               core::ParseError);
+  // Wrong schema version.
+  EXPECT_THROW((void)exp::parse_request(
+                   "{\"schema\":\"mtsched.rpc.v0\",\"type\":\"ping\"}"),
+               core::ParseError);
+  // Unknown request type.
+  EXPECT_THROW((void)exp::parse_request(
+                   "{\"schema\":\"mtsched.rpc.v1\",\"type\":\"dance\"}"),
+               core::ParseError);
+}
+
+TEST(RpcCodec, BadScheduleFieldsAreRejected) {
+  const auto base = sample_request();
+  {
+    // Unknown mapping strategy.
+    auto payload = exp::encode_request(base);
+    const auto pos = payload.find("redist_aware");
+    ASSERT_NE(pos, std::string::npos);
+    payload.replace(pos, 12, "zigzag_walks");
+    EXPECT_THROW((void)exp::parse_request(payload), core::ParseError);
+  }
+  {
+    // Unknown cost model.
+    auto payload = exp::encode_request(base);
+    const auto pos = payload.find("empirical");
+    ASSERT_NE(pos, std::string::npos);
+    payload.replace(pos, 9, "psychical");
+    EXPECT_THROW((void)exp::parse_request(payload), core::Error);
+  }
+  {
+    // Seed that is not a decimal string.
+    auto payload = exp::encode_request(base);
+    const auto pos = payload.find("123456789");
+    ASSERT_NE(pos, std::string::npos);
+    payload.replace(pos, 9, "not-a-num");
+    EXPECT_THROW((void)exp::parse_request(payload), core::ParseError);
+  }
+}
+
+TEST(RpcCodec, BadResponsesAreRejected) {
+  exp::ScheduleResponse resp;
+  auto payload = exp::encode_response(resp);
+  const auto pos = payload.find("\"status\":0");
+  ASSERT_NE(pos, std::string::npos);
+  payload.replace(pos, 10, "\"status\":7");
+  EXPECT_THROW((void)exp::parse_response(payload), core::ParseError);
+  // A request is not a response.
+  EXPECT_THROW((void)exp::parse_response(exp::encode_ping()),
+               core::ParseError);
+}
+
+TEST(RpcCodec, StatusNames) {
+  EXPECT_STREQ(exp::status_name(exp::ServiceStatus::Ok), "ok");
+  EXPECT_STREQ(exp::status_name(exp::ServiceStatus::BadRequest),
+               "bad_request");
+  EXPECT_STREQ(exp::status_name(exp::ServiceStatus::Overloaded),
+               "overloaded");
+  EXPECT_STREQ(exp::status_name(exp::ServiceStatus::Internal), "internal");
+}
+
+}  // namespace

@@ -1,0 +1,350 @@
+// Session/Service/RpcServer tests: the typed request pipeline, the
+// sharded schedule cache, admission control, --threads 0 semantics, and
+// the loopback serve path returning results identical to a local run.
+#include "mtsched/exp/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mtsched/core/thread_pool.hpp"
+#include "mtsched/dag/export.hpp"
+#include "mtsched/dag/generator.hpp"
+#include "mtsched/exp/rpc.hpp"
+#include "mtsched/exp/server.hpp"
+#include "mtsched/obs/metrics.hpp"
+#include "mtsched/obs/sink.hpp"
+
+namespace {
+
+using namespace mtsched;
+
+const exp::Lab& lab() {
+  static const exp::Lab instance;
+  return instance;
+}
+
+std::string small_dag_text(std::uint64_t seed = 11) {
+  dag::DagGenParams p;
+  p.num_tasks = 8;
+  p.width = 3;
+  p.add_ratio = 0.5;
+  p.matrix_dim = 2000;
+  p.seed = seed;
+  return dag::to_text(dag::generate_random_dag(p).graph);
+}
+
+exp::ScheduleRequest sample_request() {
+  exp::ScheduleRequest req;
+  req.dag_text = small_dag_text();
+  req.algorithm = "HCPA";
+  req.model = models::ModelSpec::parse("profile");
+  req.exp_seed = 42;
+  return req;
+}
+
+// --- Session ------------------------------------------------------------
+
+TEST(Session, ServesARequest) {
+  const exp::Session session(lab());
+  const auto resp = session.run(sample_request());
+  ASSERT_TRUE(resp.ok()) << resp.message;
+  EXPECT_EQ(resp.model, "profile");
+  EXPECT_EQ(resp.algorithm, "HCPA");
+  EXPECT_EQ(resp.exp_seed, 42u);
+  EXPECT_GT(resp.est_makespan, 0.0);
+  EXPECT_GT(resp.makespan_sim, 0.0);
+  EXPECT_GT(resp.makespan_exp, 0.0);
+  EXPECT_TRUE(resp.executed);
+  EXPECT_FALSE(resp.allocation.empty());
+}
+
+TEST(Session, IsDeterministicAcrossSessions) {
+  const exp::Session a(lab());
+  const exp::Session b(lab());
+  const auto req = sample_request();
+  // Compare through the codec: equal encodings mean equal bytes on the
+  // wire and therefore equal rendered reports.
+  EXPECT_EQ(exp::encode_response(a.run(req)),
+            exp::encode_response(b.run(req)));
+}
+
+TEST(Session, MemoizesCompatibleRequests) {
+  const exp::Session session(lab());
+  auto req = sample_request();
+  ASSERT_TRUE(session.run(req).ok());
+  EXPECT_EQ(session.cache_misses(), 1u);
+  EXPECT_EQ(session.cache_hits(), 0u);
+
+  // Same DAG/model/algorithm, different weather: the schedule memo is
+  // experiment-seed-independent, so this is a hit.
+  req.exp_seed = 1234;
+  ASSERT_TRUE(session.run(req).ok());
+  EXPECT_EQ(session.cache_hits(), 1u);
+
+  // A different algorithm is a different cell.
+  req.algorithm = "MCPA";
+  ASSERT_TRUE(session.run(req).ok());
+  EXPECT_EQ(session.cache_misses(), 2u);
+
+  // A different DAG is a different cell too.
+  req.dag_text = small_dag_text(99);
+  ASSERT_TRUE(session.run(req).ok());
+  EXPECT_EQ(session.cache_misses(), 3u);
+}
+
+TEST(Session, SkipsExecutionOnRequest) {
+  const exp::Session session(lab());
+  auto req = sample_request();
+  req.execute = false;
+  const auto resp = session.run(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp.executed);
+  EXPECT_GT(resp.makespan_sim, 0.0);
+  EXPECT_EQ(resp.makespan_exp, 0.0);
+}
+
+TEST(Session, FillsArtifacts) {
+  const exp::Session session(lab());
+  exp::RunArtifacts artifacts;
+  const auto resp = session.run(sample_request(), &artifacts);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(artifacts.schedule.allocation(), resp.allocation);
+  EXPECT_EQ(artifacts.exp_trace.makespan, resp.makespan_exp);
+}
+
+TEST(Session, BadRequestsComeBackInBand) {
+  const exp::Session session(lab());
+  auto req = sample_request();
+  req.dag_text = "this is not a dag";
+  auto resp = session.run(req);
+  EXPECT_EQ(resp.status, exp::ServiceStatus::BadRequest);
+  EXPECT_FALSE(resp.message.empty());
+
+  req = sample_request();
+  req.algorithm = "MAGIC";
+  resp = session.run(req);
+  EXPECT_EQ(resp.status, exp::ServiceStatus::BadRequest);
+}
+
+TEST(ScheduleCache, ComputesOncePerKeyUnderContention) {
+  exp::ScheduleCache cache(4);
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      const auto memo = cache.get_or_compute("shared", [&] {
+        computes.fetch_add(1);
+        exp::ScheduleMemo m;
+        m.makespan_sim = 7.0;
+        return m;
+      });
+      EXPECT_EQ(memo->makespan_sim, 7.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ScheduleCache, FailedComputePropagatesToAllWaiters) {
+  exp::ScheduleCache cache;
+  const auto boom = [&]() -> exp::ScheduleMemo {
+    throw std::runtime_error("boom");
+  };
+  EXPECT_THROW((void)cache.get_or_compute("bad", boom), std::runtime_error);
+  // The failure is cached, not retried: same inputs, same failure.
+  bool hit = false;
+  EXPECT_THROW((void)cache.get_or_compute("bad", boom, &hit),
+               std::runtime_error);
+  EXPECT_TRUE(hit);
+}
+
+// --- Service ------------------------------------------------------------
+
+TEST(Service, CallMatchesSession) {
+  const exp::Session session(lab());
+  exp::Service service(lab());
+  const auto req = sample_request();
+  EXPECT_EQ(exp::encode_response(service.call(req)),
+            exp::encode_response(session.run(req)));
+}
+
+TEST(Service, ThreadsZeroMeansHardwareConcurrency) {
+  exp::ServiceConfig cfg;
+  cfg.threads = 0;
+  exp::Service service(lab(), cfg);
+  EXPECT_EQ(service.threads(), core::ThreadPool::recommended_threads());
+}
+
+TEST(Service, AdmissionControlRejectsBeyondTheQueueLimit) {
+  exp::ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.queue_limit = 1;
+  exp::Service service(lab(), cfg);
+
+  // Block the single worker inside the first request's delivery callback
+  // so the one queue slot stays deterministically occupied.
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::promise<void> finished;
+  auto release_future = release.get_future().share();
+  ASSERT_TRUE(service.submit(
+      sample_request(), [&](const exp::ScheduleResponse& resp) {
+        EXPECT_TRUE(resp.ok());
+        entered.set_value();
+        release_future.wait();
+        finished.set_value();
+      }));
+  entered.get_future().wait();
+
+  // The slot is taken: the next submit must be rejected, not queued.
+  EXPECT_FALSE(service.submit(sample_request(),
+                              [](const exp::ScheduleResponse&) {
+                                FAIL() << "rejected submit must not deliver";
+                              }));
+  const auto rejected = service.reject_response();
+  EXPECT_EQ(rejected.status, exp::ServiceStatus::Overloaded);
+  EXPECT_FALSE(rejected.message.empty());
+
+  release.set_value();
+  finished.get_future().wait();
+  // The slot frees after delivery; admission recovers.
+  while (service.in_flight() != 0) std::this_thread::yield();
+  EXPECT_TRUE(service.call(sample_request()).ok());
+}
+
+TEST(Service, ReportsMetricsThroughTheSink) {
+  obs::MetricsRegistry metrics;
+  obs::BasicSink sink(nullptr, &metrics);
+  exp::ServiceConfig cfg;
+  cfg.threads = 1;
+  exp::Service service(lab(), cfg, &sink);
+  ASSERT_TRUE(service.call(sample_request()).ok());
+  ASSERT_TRUE(service.call(sample_request()).ok());
+  EXPECT_EQ(metrics.counter("service.accepted").value(), 2u);
+  EXPECT_EQ(metrics.counter("service.completed").value(), 2u);
+  EXPECT_EQ(metrics.counter("service.rejected").value(), 0u);
+  EXPECT_EQ(metrics.histogram("service.latency_seconds").summary().count, 2u);
+  EXPECT_EQ(service.session().cache_hits(), 1u);
+  EXPECT_EQ(service.session().cache_misses(), 1u);
+}
+
+// --- RpcServer loopback -------------------------------------------------
+
+/// Serve fixture: a service + server on an ephemeral port with the accept
+/// loop on its own thread, torn down safely even when a test fails.
+struct ServeFixture {
+  exp::Service service;
+  exp::RpcServer server;
+  std::thread accept_thread;
+
+  explicit ServeFixture(exp::ServiceConfig cfg = {})
+      : service(lab(), cfg), server(service) {
+    accept_thread = std::thread([this] { server.serve(); });
+  }
+
+  ~ServeFixture() {
+    server.shutdown();
+    accept_thread.join();
+  }
+};
+
+TEST(RpcServer, LoopbackMatchesLocalSession) {
+  ServeFixture fx;
+  exp::RpcClient client("127.0.0.1", fx.server.port());
+  EXPECT_EQ(client.ping().message, "pong");
+
+  const exp::Session local(lab());
+  for (const auto algo : {"HCPA", "MCPA"}) {
+    auto req = sample_request();
+    req.algorithm = algo;
+    EXPECT_EQ(exp::encode_response(client.call(req)),
+              exp::encode_response(local.run(req)));
+  }
+  const auto stats = fx.server.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(RpcServer, ConcurrentClientsGetIdenticalAnswers) {
+  exp::ServiceConfig cfg;
+  cfg.threads = 2;
+  ServeFixture fx(cfg);
+  const exp::Session local(lab());
+  const auto req = sample_request();
+  const std::string expect = exp::encode_response(local.run(req));
+
+  std::vector<std::thread> clients;
+  std::vector<std::string> got(4);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    clients.emplace_back([&, i] {
+      exp::RpcClient client("127.0.0.1", fx.server.port());
+      got[i] = exp::encode_response(client.call(req));
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const auto& g : got) EXPECT_EQ(g, expect);
+}
+
+TEST(RpcServer, UndecodablePayloadKeepsTheConnection) {
+  ServeFixture fx;
+  const auto sock = core::net::connect_to("127.0.0.1", fx.server.port());
+  core::net::write_frame(sock, "this is not rpc json");
+  const auto reply = core::net::read_frame(sock);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(exp::parse_response(*reply).status,
+            exp::ServiceStatus::BadRequest);
+  // The frame boundary was intact, so the connection still works.
+  core::net::write_frame(sock, exp::encode_ping());
+  const auto pong = core::net::read_frame(sock);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(exp::parse_response(*pong).ok());
+  EXPECT_EQ(fx.server.stats().protocol_errors, 1u);
+}
+
+TEST(RpcServer, OversizedFrameIsRejectedAndDropped) {
+  ServeFixture fx;
+  const auto sock = core::net::connect_to("127.0.0.1", fx.server.port());
+  // Announce far beyond the frame limit without sending a payload.
+  const unsigned char header[4] = {0x7F, 0xFF, 0xFF, 0xFF};
+  sock.write_all(header, sizeof(header));
+  const auto reply = core::net::read_frame(sock);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(exp::parse_response(*reply).status,
+            exp::ServiceStatus::BadRequest);
+  // The stream is unsound after an oversized announcement: dropped.
+  EXPECT_FALSE(core::net::read_frame(sock).has_value());
+}
+
+TEST(RpcServer, ShutdownUnblocksIdleConnections) {
+  // A connected-but-idle client must not pin the server: shutdown()
+  // half-closes open connections so their handlers wake with EOF, and
+  // serve() can join them without waiting for the client to hang up.
+  auto fx = std::make_unique<ServeFixture>();
+  exp::RpcClient idle("127.0.0.1", fx->server.port());
+  EXPECT_EQ(idle.ping().message, "pong");
+  fx.reset();  // shutdown + join with `idle` still connected — no hang
+}
+
+TEST(RpcServer, ShutdownRequestStopsTheServer) {
+  ServeFixture fx;
+  exp::RpcClient client("127.0.0.1", fx.server.port());
+  const auto ack = client.request_shutdown();
+  EXPECT_TRUE(ack.ok());
+  EXPECT_EQ(ack.message, "shutting down");
+  // The accept loop winds down on its own; joining must not hang.
+  for (int i = 0; i < 200 && !fx.server.stopping(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(fx.server.stopping());
+}
+
+}  // namespace

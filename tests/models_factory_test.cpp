@@ -67,16 +67,28 @@ TEST(Factory, ParseKindList) {
   EXPECT_THROW(parse_kind_list("analytical,nope"), InvalidArgument);
 }
 
+TEST(Factory, ModelSpecParseAndName) {
+  for (const auto kind : all_kinds()) {
+    const auto spec = ModelSpec::parse(kind_name(kind));
+    EXPECT_EQ(spec.kind, kind);
+    EXPECT_EQ(spec.name(), kind_name(kind));
+    EXPECT_EQ(spec.profile, nullptr);
+    EXPECT_EQ(spec.empirical, nullptr);
+  }
+  EXPECT_THROW(ModelSpec::parse("heuristic"), InvalidArgument);
+}
+
 TEST(Factory, MakesEveryKindAndRoundTripsIt) {
   const auto tables = mini_tables();
   const auto fits = mini_fits();
-  CostModelInputs inputs;
-  inputs.spec = mtsched::platform::bayreuth32();
-  inputs.spec.num_nodes = 4;
-  inputs.profile = &tables;
-  inputs.empirical = &fits;
+  ModelSpec spec;
+  spec.platform = mtsched::platform::bayreuth32();
+  spec.platform.num_nodes = 4;
+  spec.profile = &tables;
+  spec.empirical = &fits;
   for (const auto kind : all_kinds()) {
-    const auto model = make_cost_model(kind, inputs);
+    spec.kind = kind;
+    const auto model = make_cost_model(spec);
     ASSERT_NE(model, nullptr);
     EXPECT_EQ(model->kind(), kind);
     EXPECT_EQ(model->name(), kind_name(kind));
@@ -84,23 +96,24 @@ TEST(Factory, MakesEveryKindAndRoundTripsIt) {
   }
 }
 
-TEST(Factory, MakeByNameMatchesMakeByKind) {
-  CostModelInputs inputs;
-  inputs.spec = mtsched::platform::bayreuth32();
-  const auto model = make_cost_model("analytical", inputs);
+TEST(Factory, MakeFromParsedSpec) {
+  auto spec = ModelSpec::parse("analytical");
+  spec.platform = mtsched::platform::bayreuth32();
+  const auto model = make_cost_model(spec);
   EXPECT_EQ(model->kind(), CostModelKind::Analytical);
 }
 
-TEST(Factory, MissingInputsThrow) {
-  CostModelInputs inputs;
-  inputs.spec = mtsched::platform::bayreuth32();
-  inputs.spec.num_nodes = 4;
-  EXPECT_THROW(make_cost_model(CostModelKind::Profile, inputs),
-               InvalidArgument);
-  EXPECT_THROW(make_cost_model(CostModelKind::Empirical, inputs),
-               InvalidArgument);
-  // Analytical needs the spec only.
-  EXPECT_NO_THROW(make_cost_model(CostModelKind::Analytical, inputs));
+TEST(Factory, MissingParamsThrow) {
+  ModelSpec spec;
+  spec.platform = mtsched::platform::bayreuth32();
+  spec.platform.num_nodes = 4;
+  spec.kind = CostModelKind::Profile;
+  EXPECT_THROW(make_cost_model(spec), InvalidArgument);
+  spec.kind = CostModelKind::Empirical;
+  EXPECT_THROW(make_cost_model(spec), InvalidArgument);
+  // Analytical needs the platform only.
+  spec.kind = CostModelKind::Analytical;
+  EXPECT_NO_THROW(make_cost_model(spec));
 }
 
 }  // namespace

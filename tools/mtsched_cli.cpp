@@ -22,6 +22,9 @@
 #include "mtsched/exp/lab.hpp"
 #include "mtsched/exp/report.hpp"
 #include "mtsched/exp/results.hpp"
+#include "mtsched/exp/server.hpp"
+#include "mtsched/exp/service.hpp"
+#include "mtsched/exp/session.hpp"
 #include "mtsched/machine/table_machine.hpp"
 #include "mtsched/models/factory.hpp"
 #include "mtsched/obs/analysis.hpp"
@@ -71,15 +74,19 @@ std::string read_all(std::istream& is) {
   return os.str();
 }
 
-dag::Dag load_dag(const ArgParser& args) {
+std::string load_dag_text(const ArgParser& args) {
   const auto path = args.str("dag");
   if (path.empty()) {
     std::cerr << "(reading DAG from stdin)\n";
-    return dag::from_text(read_all(std::cin));
+    return read_all(std::cin);
   }
   std::ifstream f(path);
   if (!f) throw core::InvalidArgument("cannot open DAG file '" + path + "'");
-  return dag::from_text(read_all(f));
+  return read_all(f);
+}
+
+dag::Dag load_dag(const ArgParser& args) {
+  return dag::from_text(load_dag_text(args));
 }
 
 std::unique_ptr<exp::Lab> make_lab(const ArgParser& args) {
@@ -235,7 +242,7 @@ sched::Schedule compute_schedule(const dag::Dag& g, const exp::Lab& lab,
                                  const ArgParser& args) {
   const auto algo = sched::make_allocator(args.str("algo"));
   const models::SchedCostAdapter cost(
-      lab.model(models::parse_kind(args.str("model"))));
+      lab.model(models::ModelSpec::parse(args.str("model"))));
   const auto strategy = args.flag("redist-aware")
                             ? sched::MappingStrategy::RedistributionAware
                             : sched::MappingStrategy::EarliestStart;
@@ -282,6 +289,34 @@ int cmd_schedule(int argc, char** argv) {
   return 0;
 }
 
+/// Builds the session-layer request from the shared schedule options.
+exp::ScheduleRequest request_from_args(const ArgParser& args) {
+  exp::ScheduleRequest req;
+  req.dag_text = load_dag_text(args);
+  req.algorithm = args.str("algo");
+  req.redist_aware = args.flag("redist-aware");
+  req.model = models::ModelSpec::parse(args.str("model"));
+  req.exp_seed = args.uint64("exp-seed");
+  return req;
+}
+
+/// The standard run report, printed identically by `run` (local session)
+/// and `request` (over the rpc service): the byte-identity contract
+/// between the two rests on rendering the same ScheduleResponse fields.
+void print_run_report(const exp::ScheduleResponse& resp) {
+  std::cout << "scheduler estimate: " << core::fmt(resp.est_makespan, 2)
+            << " s\n"
+            << "simulated makespan: " << core::fmt(resp.makespan_sim, 2)
+            << " s (" << resp.model << " model)\n"
+            << "measured makespan:  " << core::fmt(resp.makespan_exp, 2)
+            << " s (seed " << resp.exp_seed << ")\n"
+            << "simulation error:   "
+            << core::fmt(std::abs(resp.makespan_exp - resp.makespan_sim) /
+                             resp.makespan_sim * 100.0,
+                         1)
+            << " % of the simulated value\n";
+}
+
 int cmd_run(int argc, char** argv) {
   ArgParser args("mtsched_cli run",
                  "Schedule one DAG, simulate it and execute it on the "
@@ -292,8 +327,9 @@ int cmd_run(int argc, char** argv) {
   add_obs_options(args);
   if (!parse_or_help(args, argc, argv)) return 0;
 
-  const auto g = load_dag(args);
+  const auto req = request_from_args(args);
   const auto lab = make_lab(args);
+  const exp::Session session(*lab);
 
   // Route the scheduling, simulation and emulated-execution layers'
   // events to one tracer/registry via the ambient obs context.
@@ -307,33 +343,122 @@ int cmd_run(int argc, char** argv) {
                     args.flag("metrics") ? &metrics : nullptr);
   }
 
-  const auto s = compute_schedule(g, *lab, args);
-  const auto& model = lab->model(models::parse_kind(args.str("model")));
-  const auto sim_trace = sim::Simulator(model).run(g, s);
-  const auto exp_seed = args.uint64("exp-seed");
-  const auto exp_trace = lab->rig().run(g, s, exp_seed);
+  exp::RunArtifacts artifacts;
+  const auto resp = session.run(req, &artifacts);
   obs_ctx.reset();
   if (tracing) write_trace_file(args, tracer);
-  std::cout << "scheduler estimate: " << core::fmt(s.est_makespan, 2)
-            << " s\n"
-            << "simulated makespan: " << core::fmt(sim_trace.makespan, 2)
-            << " s (" << model.name() << " model)\n"
-            << "measured makespan:  " << core::fmt(exp_trace.makespan, 2)
-            << " s (seed " << exp_seed << ")\n"
-            << "simulation error:   "
-            << core::fmt(std::abs(exp_trace.makespan - sim_trace.makespan) /
-                             sim_trace.makespan * 100.0,
-                         1)
-            << " % of the simulated value\n";
+  // Surface request-level failures exactly like the pre-session CLI:
+  // as an error on stderr with exit status 1.
+  if (!resp.ok()) throw core::Error(resp.message);
+  print_run_report(resp);
   if (args.flag("metrics")) {
     std::cout << '\n' << metrics.render();
   }
   if (args.flag("gantt")) {
+    const auto g = dag::from_text(req.dag_text);
     std::vector<std::vector<int>> procs;
-    for (const auto& pl : s.placements) procs.push_back(pl.procs);
+    for (const auto& pl : artifacts.schedule.placements) {
+      procs.push_back(pl.procs);
+    }
     std::cout << "\nexperimental timeline:\n"
-              << exp_trace.ascii_gantt(g, procs, lab->spec().num_nodes);
+              << artifacts.exp_trace.ascii_gantt(g, procs,
+                                                 lab->spec().num_nodes);
   }
+  return 0;
+}
+
+// --- serve / request ----------------------------------------------------
+
+int cmd_serve(int argc, char** argv) {
+  ArgParser args(
+      "mtsched_cli serve",
+      "Run the scheduling daemon: accept mtsched.rpc.v1 requests on a "
+      "loopback socket and serve them through a shared session (worker "
+      "pool, schedule cache, admission control). Stops on a shutdown "
+      "request (`mtsched_cli request --shutdown`).");
+  args.add_int("port", 0,
+               "listen port on 127.0.0.1 (0 = pick an ephemeral port; the "
+               "bound port is printed on startup)");
+  args.add_int("threads", 0, "worker threads (0 = one per hardware thread)");
+  args.add_int("queue-limit", 64,
+               "maximum requests in flight; beyond this requests are "
+               "rejected with status 429");
+  args.add_flag("metrics", "print the metrics registry on shutdown");
+  add_machine_option(args);
+  if (!parse_or_help(args, argc, argv)) return 0;
+
+  const auto lab = make_lab(args);
+  obs::MetricsRegistry metrics;
+  obs::BasicSink sink(nullptr, args.flag("metrics") ? &metrics : nullptr);
+
+  exp::ServiceConfig cfg;
+  cfg.threads = static_cast<int>(args.integer("threads"));
+  cfg.queue_limit = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, args.integer("queue-limit")));
+  exp::Service service(*lab, cfg, &sink);
+
+  exp::RpcServerConfig server_cfg;
+  server_cfg.port = static_cast<std::uint16_t>(args.integer("port"));
+  exp::RpcServer server(service, server_cfg);
+  // One flushed line with the bound port so scripts can scrape it.
+  std::cout << "mtsched serve: listening on 127.0.0.1:" << server.port()
+            << " (" << service.threads() << " worker thread"
+            << (service.threads() == 1 ? "" : "s") << ", queue limit "
+            << service.queue_limit() << ")" << std::endl;
+  server.serve();
+  const auto stats = server.stats();
+  std::cout << "mtsched serve: shut down after " << stats.requests
+            << " requests on " << stats.connections << " connections ("
+            << stats.rejected << " rejected, " << stats.protocol_errors
+            << " protocol errors)\n";
+  if (args.flag("metrics")) std::cout << metrics.render();
+  return 0;
+}
+
+int cmd_request(int argc, char** argv) {
+  ArgParser args(
+      "mtsched_cli request",
+      "Send one scheduling request to a running `mtsched_cli serve` "
+      "daemon and print the standard run report (byte-identical to a "
+      "local `run` against the same machine model).");
+  args.add_str("host", "127.0.0.1", "daemon host", "HOST");
+  args.add_int("port", 0, "daemon port (required; see the serve startup "
+               "line)");
+  args.add_str("algo", "HCPA",
+               "allocation algorithm: CPA, HCPA, MCPA, SEQ or MAXPAR",
+               "NAME");
+  add_model_option(args);
+  args.add_flag("redist-aware",
+                "use redistribution-aware mapping instead of earliest-start");
+  add_dag_input(args);
+  args.add_uint64("exp-seed", 42, "experiment seed (cluster weather)");
+  args.add_flag("ping", "probe daemon liveness instead of scheduling");
+  args.add_flag("shutdown",
+                "ask the daemon to shut down instead of scheduling");
+  if (!parse_or_help(args, argc, argv)) return 0;
+
+  const auto port = args.integer("port");
+  if (port <= 0 || port > 65535) {
+    throw core::InvalidArgument(
+        "--port is required (the daemon prints its port on startup)");
+  }
+  exp::RpcClient client(args.str("host"), static_cast<std::uint16_t>(port));
+  if (args.flag("ping")) {
+    const auto resp = client.ping();
+    std::cout << resp.message << '\n';
+    return resp.ok() ? 0 : 1;
+  }
+  if (args.flag("shutdown")) {
+    const auto resp = client.request_shutdown();
+    std::cout << resp.message << '\n';
+    return resp.ok() ? 0 : 1;
+  }
+  const auto resp = client.call(request_from_args(args));
+  if (!resp.ok()) {
+    throw core::Error(std::string(exp::status_name(resp.status)) + ": " +
+                      resp.message);
+  }
+  print_run_report(resp);
   return 0;
 }
 
@@ -562,6 +687,9 @@ constexpr Command kCommands[] = {
     {"gen-lu", "generate a blocked LU factorization DAG", cmd_gen_lu},
     {"schedule", "compute a schedule for a DAG", cmd_schedule},
     {"run", "schedule + simulate + execute one DAG", cmd_run},
+    {"serve", "scheduling daemon over the mtsched.rpc.v1 protocol",
+     cmd_serve},
+    {"request", "send one request to a running serve daemon", cmd_request},
     {"case-study", "the paper's full HCPA-vs-MCPA comparison",
      cmd_case_study},
     {"campaign", "parallel experiment campaign with JSON/CSV output",
