@@ -79,6 +79,14 @@ struct AlgoSpec {
       const std::string& name,
       sched::MappingStrategy strategy = sched::MappingStrategy::EarliestStart,
       std::string label = {});
+
+  /// Platform-aware variant: the list mapper learns the rack structure
+  /// from `platform` (required for MappingStrategy::RackAware; other
+  /// strategies behave as above).
+  static AlgoSpec allocator(const std::string& name,
+                            sched::MappingStrategy strategy,
+                            const platform::ClusterSpec& platform,
+                            std::string label = {});
 };
 
 /// A DAG suite plus the identity it is reported under.

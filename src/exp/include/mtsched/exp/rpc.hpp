@@ -10,19 +10,25 @@
 //
 // Requests:
 //   {"schema":"mtsched.rpc.v1","type":"schedule","algorithm":"HCPA",
-//    "mapping":"earliest"|"redist_aware","model":"<cost-model name>",
-//    "exp_seed":"42","execute":true,"dag":"<dag::to_text format>"}
+//    "mapping":"earliest"|"redist_aware"|"rack_aware",
+//    "model":"<cost-model name>","exp_seed":"42","execute":true,
+//    "platform":"<registered name>","dag":"<dag::to_text format>"}
 //   {"schema":"mtsched.rpc.v1","type":"ping"}
 //   {"schema":"mtsched.rpc.v1","type":"shutdown"}
 // Response:
 //   {"schema":"mtsched.rpc.v1","type":"response","status":0,
 //    "status_name":"ok","message":"","model":"profile","algorithm":"HCPA",
-//    "exp_seed":"42","executed":true,"est_makespan":...,
-//    "makespan_sim":...,"makespan_exp":...,"allocation":[...]}
+//    "platform":"bayreuth32","exp_seed":"42","executed":true,
+//    "est_makespan":...,"makespan_sim":...,"makespan_exp":...,
+//    "allocation":[...]}
 //
 // Version policy: a peer speaking a different schema string is rejected
-// with core::ParseError — v1 has no negotiation (additive fields would
-// ship as "mtsched.rpc.v2" side by side).
+// with core::ParseError — v1 has no negotiation. Additive *optional*
+// members are compatible within v1 because parsers ignore members they
+// do not know: "platform" (both directions) is such a member — requests
+// omit it for the default platform, absent members read as the default.
+// Anything that changes the meaning of existing members would ship as
+// "mtsched.rpc.v2" side by side.
 #pragma once
 
 #include <string>

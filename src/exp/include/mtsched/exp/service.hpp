@@ -55,6 +55,12 @@ class Service {
   explicit Service(const Lab& lab, ServiceConfig cfg = {},
                    obs::Sink* sink = nullptr);
 
+  /// Registers an additional platform lab with the session (see
+  /// Session::add_platform). Call before submitting any request — the
+  /// registry is not synchronized with serving. `lab` must outlive the
+  /// service.
+  void add_platform(const Lab& lab) { session_.add_platform(lab); }
+
   /// Drains outstanding requests, then joins the workers.
   ~Service() = default;
 

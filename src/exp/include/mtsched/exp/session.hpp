@@ -16,9 +16,9 @@
 // The schedule-memo cache is sharded: requests hash to one of N shards,
 // each with its own lock, so concurrent requests for different DAGs do
 // not contend on a single cache mutex. Within a cell the first arrival
-// computes behind a shared_future and later arrivals (same DAG, model
-// and algorithm — "compatible requests") wait for and reuse it; the
-// platform is fixed by the session's lab, so it needs no key component.
+// computes behind a shared_future and later arrivals (same DAG, model,
+// algorithm, mapping and platform — "compatible requests") wait for and
+// reuse it.
 #pragma once
 
 #include <atomic>
@@ -33,6 +33,7 @@
 
 #include "mtsched/exp/lab.hpp"
 #include "mtsched/models/factory.hpp"
+#include "mtsched/sched/mapping.hpp"
 #include "mtsched/sched/schedule.hpp"
 #include "mtsched/sched/trace.hpp"
 
@@ -56,7 +57,11 @@ const char* status_name(ServiceStatus s);
 struct ScheduleRequest {
   std::string dag_text;            ///< DAG in the dag::to_text line format
   std::string algorithm = "HCPA";  ///< sched::make_allocator name
-  bool redist_aware = false;       ///< mapping strategy toggle
+  /// Mapping-phase processor-selection policy.
+  sched::MappingStrategy mapping = sched::MappingStrategy::EarliestStart;
+  /// Platform to schedule against, by registered name; empty selects the
+  /// session's default lab. Unknown names are a BadRequest.
+  std::string platform;
   models::ModelSpec model;         ///< resolved against the lab by kind
   std::uint64_t exp_seed = 42;     ///< cluster weather of the execution
   bool execute = true;  ///< also run the emulated cluster (the experiment)
@@ -69,6 +74,7 @@ struct ScheduleResponse {
   std::string message;    ///< human-readable error detail; empty on Ok
   std::string model;      ///< resolved cost-model name
   std::string algorithm;  ///< echoed allocator name
+  std::string platform;   ///< resolved platform (lab spec) name
   std::uint64_t exp_seed = 0;
   double est_makespan = 0.0;   ///< the scheduler's own prediction
   double makespan_sim = 0.0;   ///< simulated under the cost model
@@ -140,12 +146,24 @@ struct SessionOptions {
   std::size_t cache_shards = 16;
 };
 
-/// One lab + one schedule cache. Thread-safe: requests may be served
-/// concurrently from pool workers (exp::Service does exactly that).
+/// One default lab, optional further platform labs, one schedule cache.
+/// Thread-safe: requests may be served concurrently from pool workers
+/// (exp::Service does exactly that). Register every platform before
+/// serving — add_platform is not synchronized with run().
 class Session {
  public:
   /// `lab` must outlive the session.
   explicit Session(const Lab& lab, SessionOptions opt = {});
+
+  /// Registers an additional platform lab, addressable from requests by
+  /// its spec name (req.platform). `lab` must outlive the session.
+  /// Re-registering a name replaces the earlier entry.
+  void add_platform(const Lab& lab);
+
+  /// The lab a request with this platform name resolves to: the default
+  /// lab for "", a registered lab otherwise. Throws
+  /// core::InvalidArgument for unknown names.
+  const Lab& resolve_lab(const std::string& platform) const;
 
   /// Serves one request. Never throws for request-level problems — they
   /// come back as status codes with a message; only genuine library bugs
@@ -168,6 +186,9 @@ class Session {
 
  private:
   const Lab& lab_;
+  /// Registered (name, lab) platforms; linear scan — registries hold a
+  /// handful of entries and are read-only while serving.
+  std::vector<std::pair<std::string, const Lab*>> labs_;
   ScheduleCache cache_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};

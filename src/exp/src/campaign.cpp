@@ -81,6 +81,25 @@ AlgoSpec AlgoSpec::allocator(const std::string& name,
   return spec;
 }
 
+AlgoSpec AlgoSpec::allocator(const std::string& name,
+                             sched::MappingStrategy strategy,
+                             const platform::ClusterSpec& platform,
+                             std::string label) {
+  std::shared_ptr<const sched::Allocator> alloc = sched::make_allocator(name);
+  AlgoSpec spec;
+  spec.label = label.empty() ? name : std::move(label);
+  // The mapper copies what it needs from the spec, so the lambda owns a
+  // mapper, not a dangling platform reference.
+  sched::ListMapper mapper(strategy, platform);
+  spec.schedule = [alloc, mapper](const dag::Dag& g,
+                                  const models::CostModel& model, int P) {
+    const models::SchedCostAdapter cost(model);
+    const auto sizes = alloc->allocate(g, cost, P);
+    return mapper.map(g, sizes, cost, P);
+  };
+  return spec;
+}
+
 SuiteSpec SuiteSpec::table1(std::uint64_t base_seed) {
   return SuiteSpec{base_seed, dag::generate_table1_suite(base_seed)};
 }

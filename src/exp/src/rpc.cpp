@@ -77,10 +77,15 @@ std::string encode_request(const ScheduleRequest& req) {
   std::ostringstream os;
   os << "{\"schema\":" << quoted(kRpcSchema) << ",\"type\":\"schedule\""
      << ",\"algorithm\":" << quoted(req.algorithm) << ",\"mapping\":\""
-     << (req.redist_aware ? "redist_aware" : "earliest") << "\""
+     << sched::mapping_name(req.mapping) << "\""
      << ",\"model\":" << quoted(req.model.name()) << ",\"exp_seed\":\""
-     << req.exp_seed << "\",\"execute\":" << (req.execute ? "true" : "false")
-     << ",\"dag\":" << quoted(req.dag_text) << "}";
+     << req.exp_seed << "\",\"execute\":" << (req.execute ? "true" : "false");
+  // Optional member: omitted for the default platform, keeping
+  // default-platform frames byte-identical to pre-platform clients'.
+  if (!req.platform.empty()) {
+    os << ",\"platform\":" << quoted(req.platform);
+  }
+  os << ",\"dag\":" << quoted(req.dag_text) << "}";
   return os.str();
 }
 
@@ -118,13 +123,17 @@ RpcRequest parse_request(const std::string& payload) {
       as_string(obs::json::member(doc, "algorithm", kWhat), "algorithm");
   const std::string& mapping =
       as_string(obs::json::member(doc, "mapping", kWhat), "mapping");
-  if (mapping == "redist_aware") {
-    req.schedule.redist_aware = true;
-  } else if (mapping == "earliest") {
-    req.schedule.redist_aware = false;
-  } else {
+  const auto strategy = sched::parse_mapping(mapping);
+  if (!strategy) {
     throw core::ParseError(std::string(kWhat) + ": unknown mapping \"" +
-                           mapping + "\" (earliest | redist_aware)");
+                           mapping +
+                           "\" (earliest | redist_aware | rack_aware)");
+  }
+  req.schedule.mapping = *strategy;
+  // Optional member, absent in pre-platform frames: empty selects the
+  // server's default platform.
+  if (const obs::json::Value* platform = doc.find("platform")) {
+    req.schedule.platform = as_string(*platform, "platform");
   }
   req.schedule.model = models::ModelSpec::parse(
       as_string(obs::json::member(doc, "model", kWhat), "model"));
@@ -144,7 +153,8 @@ std::string encode_response(const ScheduleResponse& resp) {
      << ",\"status_name\":" << quoted(status_name(resp.status))
      << ",\"message\":" << quoted(resp.message)
      << ",\"model\":" << quoted(resp.model)
-     << ",\"algorithm\":" << quoted(resp.algorithm) << ",\"exp_seed\":\""
+     << ",\"algorithm\":" << quoted(resp.algorithm)
+     << ",\"platform\":" << quoted(resp.platform) << ",\"exp_seed\":\""
      << resp.exp_seed << "\",\"executed\":"
      << (resp.executed ? "true" : "false")
      << ",\"est_makespan\":" << core::fmt_roundtrip(resp.est_makespan)
@@ -186,6 +196,10 @@ ScheduleResponse parse_response(const std::string& payload) {
   resp.model = as_string(obs::json::member(doc, "model", kWhat), "model");
   resp.algorithm =
       as_string(obs::json::member(doc, "algorithm", kWhat), "algorithm");
+  // Optional member, absent in pre-platform frames.
+  if (const obs::json::Value* platform = doc.find("platform")) {
+    resp.platform = as_string(*platform, "platform");
+  }
   resp.exp_seed =
       as_seed(obs::json::member(doc, "exp_seed", kWhat), "exp_seed");
   resp.executed =

@@ -96,6 +96,27 @@ std::size_t ScheduleCache::size() const {
 Session::Session(const Lab& lab, SessionOptions opt)
     : lab_(lab), cache_(opt.cache_shards) {}
 
+void Session::add_platform(const Lab& lab) {
+  const std::string& name = lab.spec().name;
+  MTSCHED_REQUIRE(!name.empty(), "platform lab needs a non-empty spec name");
+  for (auto& [n, l] : labs_) {
+    if (n == name) {
+      l = &lab;
+      return;
+    }
+  }
+  labs_.emplace_back(name, &lab);
+}
+
+const Lab& Session::resolve_lab(const std::string& platform) const {
+  if (platform.empty()) return lab_;
+  if (platform == lab_.spec().name) return lab_;
+  for (const auto& [n, l] : labs_) {
+    if (n == platform) return *l;
+  }
+  throw core::InvalidArgument("unknown platform '" + platform + "'");
+}
+
 ScheduleResponse Session::run(const ScheduleRequest& req,
                               RunArtifacts* artifacts) const {
   ScheduleResponse resp;
@@ -103,19 +124,20 @@ ScheduleResponse Session::run(const ScheduleRequest& req,
   resp.exp_seed = req.exp_seed;
   resp.model = req.model.name();
   try {
-    const models::CostModel& model = lab_.model(req.model);
+    const Lab& lab = resolve_lab(req.platform);
+    resp.platform = lab.spec().name;
+    const models::CostModel& model = lab.model(req.model);
     // Validates the algorithm name before any expensive work, exactly
     // like AlgoSpec::allocator does for campaigns.
     const auto allocator = sched::make_allocator(req.algorithm);
     const dag::Dag g = dag::from_text(req.dag_text);
-    const int P = lab_.spec().num_nodes;
-    const auto strategy = req.redist_aware
-                              ? sched::MappingStrategy::RedistributionAware
-                              : sched::MappingStrategy::EarliestStart;
+    const int P = lab.spec().num_nodes;
+    const auto strategy = req.mapping;
 
     const std::string key = hex64(fnv1a(dag::to_text(g))) + "/" + resp.model +
-                            "/" + req.algorithm +
-                            (req.redist_aware ? "/redist" : "/earliest");
+                            "/" + req.algorithm + "/" +
+                            sched::mapping_name(strategy) + "/" +
+                            resp.platform;
     bool hit = false;
     const auto memo = cache_.get_or_compute(
         key,
@@ -123,7 +145,8 @@ ScheduleResponse Session::run(const ScheduleRequest& req,
           ScheduleMemo m;
           const models::SchedCostAdapter cost(model);
           const auto sizes = allocator->allocate(g, cost, P);
-          m.schedule = sched::ListMapper(strategy).map(g, sizes, cost, P);
+          m.schedule =
+              sched::ListMapper(strategy, lab.spec()).map(g, sizes, cost, P);
           m.makespan_sim = sim::Simulator(model).makespan(g, m.schedule);
           return m;
         },
@@ -136,10 +159,10 @@ ScheduleResponse Session::run(const ScheduleRequest& req,
     if (artifacts != nullptr) artifacts->schedule = memo->schedule;
     if (req.execute) {
       if (artifacts != nullptr) {
-        artifacts->exp_trace = lab_.rig().run(g, memo->schedule, req.exp_seed);
+        artifacts->exp_trace = lab.rig().run(g, memo->schedule, req.exp_seed);
         resp.makespan_exp = artifacts->exp_trace.makespan;
       } else {
-        resp.makespan_exp = lab_.rig().makespan(g, memo->schedule, req.exp_seed);
+        resp.makespan_exp = lab.rig().makespan(g, memo->schedule, req.exp_seed);
       }
       resp.executed = true;
     }

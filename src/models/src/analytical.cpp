@@ -4,6 +4,7 @@
 
 #include "mtsched/core/error.hpp"
 #include "mtsched/core/units.hpp"
+#include "mtsched/platform/topology.hpp"
 
 namespace mtsched::models {
 
@@ -52,8 +53,15 @@ double AnalyticalModel::exec_estimate(const dag::Task& t, int p) const {
     comm = std::max(comm, rb * static_cast<double>(p) /
                               spec_.net.backbone_bandwidth);
   }
-  // L07 semantics: computation and communication overlap fully.
-  return std::max(comp, comm) + spec_.route_latency();
+  if (spec_.hierarchical()) {
+    // Placement-blind worst case on a hierarchical platform: a ring hop
+    // may cross the slowest rack uplink.
+    comm = std::max(comm, rb / spec_.topology->min_uplink_bandwidth());
+  }
+  // L07 semantics: computation and communication overlap fully. The
+  // latency term is the worst route the placement could use (identical to
+  // route_latency() on star platforms).
+  return std::max(comp, comm) + spec_.max_route_latency();
 }
 
 double AnalyticalModel::startup_estimate(int p) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mtsched/core/error.hpp"
+#include "mtsched/platform/topology.hpp"
 #include "mtsched/redist/plan.hpp"
 
 namespace mtsched::models {
@@ -25,7 +26,13 @@ double redist_payload_estimate(const platform::ClusterSpec& spec, int n,
   if (spec.net.shared_backbone) {
     t = std::max(t, plan.total_bytes() / spec.net.backbone_bandwidth);
   }
-  return t + spec.route_latency();
+  if (spec.hierarchical()) {
+    // Placement-blind worst case: source and destination live in
+    // different racks, so the whole payload crosses a rack uplink.
+    t = std::max(t,
+                 plan.total_bytes() / spec.topology->min_uplink_bandwidth());
+  }
+  return t + spec.max_route_latency();
 }
 
 double CostModel::redist_estimate(const dag::Task& producer, int p_src,

@@ -8,10 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace mtsched::platform {
+
+struct Topology;  // hierarchical rack/ToR/core description (topology.hpp)
 
 /// One compute node.
 struct NodeSpec {
@@ -38,8 +41,19 @@ struct ClusterSpec {
   /// otherwise must have num_nodes entries. node.flops remains the
   /// *reference* speed used by virtual-cluster scheduling.
   std::vector<double> node_speeds;
+  /// Optional hierarchical description (racks, ToR switches, core). When
+  /// set, this spec is the flat view over it (platform::to_cluster keeps
+  /// the two consistent) and topology-aware consumers — the cluster
+  /// simulator, the redistribution estimators — read the link graph
+  /// instead of the star fields. Null for classic star platforms.
+  std::shared_ptr<const Topology> topology;
 
   bool heterogeneous() const { return !node_speeds.empty(); }
+
+  /// True when the attached topology has more than one rack — the star
+  /// fields are then only an approximation and the simulator expands the
+  /// full link graph. One-rack topologies reduce exactly to the star.
+  bool hierarchical() const;
 
   /// Speed of one node (reference speed when homogeneous).
   double flops_of(int node_id) const;
@@ -49,10 +63,22 @@ struct ClusterSpec {
   double min_flops() const;
   double max_flops() const;
 
-  /// End-to-end latency of a route between two distinct nodes.
+  /// End-to-end latency of the star route between two distinct nodes.
+  /// Star platforms have a single route shape, so this needs no
+  /// endpoints; topology-aware callers use the overloads below.
   double route_latency() const {
     return 2.0 * net.link_latency + net.backbone_latency;
   }
+
+  /// End-to-end latency of the route between two concrete nodes: 0 for
+  /// a == b, the star formula above on flat platforms, the per-route
+  /// value on hierarchical ones (intra-rack routes skip uplink and core).
+  double route_latency(int a, int b) const;
+
+  /// The largest route latency any node pair can see — the value
+  /// placement-blind estimators charge. Identical to route_latency() on
+  /// star platforms.
+  double max_route_latency() const;
 
   /// Throws core::InvalidArgument unless all fields are physical.
   void validate() const;

@@ -1,29 +1,68 @@
-// Tiny key = value platform description format, so experiments can be run
-// against user-provided platforms without recompiling:
+// Text platform descriptions, so experiments can run against
+// user-provided platforms without recompiling.
 //
-//   # comment
-//   name = mycluster
-//   nodes = 32
+// The current format is versioned: `mtsched.platform.v1` describes a
+// hierarchical topology as rack/core sections,
+//
+//   mtsched.platform.v1
+//   name = hier4x8
+//   [core]
+//   bandwidth = 16e9          # bytes/s
+//   latency = 0               # seconds
+//   shared = true
+//   [rack]
+//   count = 4                 # expands into 4 identical racks
+//   nodes = 8
 //   node_flops = 250e6
-//   link_bandwidth = 125e6      # bytes/s
-//   link_latency = 100e-6       # seconds
-//   backbone_bandwidth = 16e9
-//   backbone_latency = 0
-//   shared_backbone = true
+//   link_bandwidth = 125e6    # bytes/s
+//   link_latency = 100e-6     # seconds
+//   tor_bandwidth = 16e9
+//   tor_latency = 0
+//   shared_tor = true
+//   oversubscription = 4      # uplink = nodes*link_bandwidth/this
+//   uplink_bandwidth = 0      # explicit override; 0 = derive
+//   node_speeds = 2e8 3e8 ... # optional, one entry per node
+//
+// The legacy flat key = value format (no header line; keys name, nodes,
+// node_flops, link_*, backbone_*, shared_backbone, node_speeds) is still
+// parsed — parse_platform falls back to it and reports a deprecation
+// note — but new files should carry the v1 header.
 #pragma once
 
 #include <string>
 
 #include "mtsched/platform/cluster.hpp"
+#include "mtsched/platform/topology.hpp"
 
 namespace mtsched::platform {
 
-/// Parses the format above; unknown keys raise core::ParseError, missing
-/// keys keep their ClusterSpec defaults.
+/// Header line identifying the versioned platform format.
+inline constexpr const char* kPlatformSchema = "mtsched.platform.v1";
+
+/// Parses the legacy flat format; unknown keys raise core::ParseError,
+/// missing keys keep their ClusterSpec defaults. Deprecated in favour of
+/// parse_platform, which also accepts mtsched.platform.v1 files.
 ClusterSpec parse_cluster(const std::string& text);
 
-/// Serializes a spec back to the same format (round-trips with
-/// parse_cluster).
+/// Serializes a flat spec back to the legacy format (round-trips with
+/// parse_cluster). An attached topology is NOT represented — use
+/// to_text(const Topology&) for hierarchical platforms.
 std::string to_text(const ClusterSpec& spec);
+
+/// Parses an mtsched.platform.v1 document (the header line must be
+/// present). Raises core::ParseError on malformed input.
+Topology parse_topology(const std::string& text);
+
+/// Serializes a topology to mtsched.platform.v1 (round-trips with
+/// parse_topology; runs of identical racks collapse into one section with
+/// a count).
+std::string to_text(const Topology& topo);
+
+/// Parses either format: mtsched.platform.v1 when the header line is the
+/// first significant line, the legacy flat format otherwise. When the
+/// legacy path is taken and `deprecation_note` is non-null it receives a
+/// one-line migration hint (left empty for v1 input).
+ClusterSpec parse_platform(const std::string& text,
+                           std::string* deprecation_note = nullptr);
 
 }  // namespace mtsched::platform

@@ -1,0 +1,140 @@
+// Hierarchical network platforms: racks of nodes behind top-of-rack (ToR)
+// switches, joined by a core switch (extension; ROADMAP "Hierarchical
+// network platforms").
+//
+// The paper's star cluster is the one-rack special case: every node owns a
+// private full-duplex link into its rack's ToR switch, every rack owns a
+// full-duplex uplink into the core. An intra-rack transfer crosses
+//   src link -> ToR fabric -> dst link,
+// a cross-rack transfer
+//   src link -> ToR(a) -> uplink(a) -> core -> downlink(b) -> ToR(b)
+//   -> dst link.
+// The uplink capacity defaults to nodes * link_bandwidth / oversubscription
+// — the standard oversubscription knob: at 1.0 the rack can drain every
+// node link at once; at 4.0 cross-rack traffic contends 4:1.
+//
+// A topology with a single rack reduces *exactly* to the flat star
+// ClusterSpec (the uplink and core are unreachable), which is the
+// bit-identity bridge to every star-minded consumer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mtsched/platform/cluster.hpp"
+
+namespace mtsched::platform {
+
+/// One rack: `nodes` identical (or per-node-speed) compute nodes behind a
+/// ToR switch with a core uplink.
+struct RackSpec {
+  int nodes = 8;
+  double node_flops = 250e6;      ///< per-node compute speed, flop/s
+  double link_bandwidth = 125e6;  ///< node-to-ToR private link, bytes/s
+  double link_latency = 100e-6;   ///< node-to-ToR link latency, s
+  double tor_bandwidth = 16e9;    ///< ToR switch fabric, bytes/s
+  double tor_latency = 0.0;       ///< ToR switch latency, s
+  bool shared_tor = true;         ///< false: ideal non-blocking ToR
+  /// Uplink oversubscription ratio: the derived uplink capacity is
+  /// nodes * link_bandwidth / oversubscription (>= 1 is the usual range;
+  /// any positive value is accepted).
+  double oversubscription = 1.0;
+  /// Explicit uplink capacity in bytes/s; 0 means "derive from the
+  /// oversubscription ratio".
+  double uplink_bandwidth = 0.0;
+  /// Optional per-node speeds (flop/s); empty = homogeneous at
+  /// node_flops, otherwise exactly `nodes` entries.
+  std::vector<double> node_speeds;
+
+  /// The uplink capacity actually used: the explicit override when set,
+  /// the oversubscription-derived value otherwise.
+  double effective_uplink_bandwidth() const;
+
+  bool operator==(const RackSpec&) const = default;
+};
+
+/// The core switch joining the rack uplinks.
+struct CoreSpec {
+  double bandwidth = 16e9;  ///< core fabric, bytes/s
+  double latency = 0.0;     ///< core switch latency, s
+  bool shared = true;       ///< false: ideal non-blocking core
+
+  bool operator==(const CoreSpec&) const = default;
+};
+
+/// A node -> ToR -> core link graph. Node ids are assigned rack by rack:
+/// rack 0 owns [0, racks[0].nodes), rack 1 the next block, and so on.
+struct Topology {
+  std::string name = "topology";
+  std::vector<RackSpec> racks;
+  CoreSpec core;
+
+  int num_nodes() const;
+  int num_racks() const { return static_cast<int>(racks.size()); }
+
+  /// Rack owning `node` (node ids are contiguous per rack).
+  int rack_of(int node) const;
+  /// First node id of `rack`.
+  int first_node_of(int rack) const;
+
+  /// Speed of one node (its rack's node_flops unless per-node speeds are
+  /// given).
+  double flops_of(int node) const;
+
+  /// End-to-end latency of the route between two nodes (0 when a == b).
+  double route_latency(int a, int b) const;
+  /// The largest route latency any node pair can see — what placement-
+  /// blind estimators charge.
+  double max_route_latency() const;
+
+  /// The slowest rack uplink — the worst-case cross-rack bottleneck.
+  double min_uplink_bandwidth() const;
+
+  /// True when the topology is exactly a star: one rack, whose uplink and
+  /// core are unreachable.
+  bool reduces_to_star() const { return racks.size() == 1; }
+
+  /// Throws core::InvalidArgument unless all fields are physical.
+  void validate() const;
+
+  bool operator==(const Topology&) const = default;
+};
+
+/// Flattens `topo` into a ClusterSpec view with the topology attached:
+/// legacy accessors (num_nodes, node speeds, link fields) stay meaningful
+/// while topology-aware consumers read the attached link graph. For a
+/// one-rack topology the flat fields are exact (link = rack link,
+/// backbone = ToR); for multiple racks they are the rack-0 link plus the
+/// core as the "backbone" — a flat approximation that only
+/// topology-blind consumers see.
+ClusterSpec to_cluster(const Topology& topo);
+
+/// The one-rack topology equivalent to a flat star spec (the inverse of
+/// to_cluster for star platforms).
+Topology star_topology(const ClusterSpec& spec);
+
+/// A homogeneous rack x nodes-per-rack platform built from a star spec's
+/// link/node parameters: each rack's ToR inherits the star backbone, the
+/// core gets the same fabric, and the uplinks are oversubscribed by the
+/// given ratio.
+Topology hierarchical_topology(int num_racks, int nodes_per_rack,
+                               double oversubscription,
+                               const ClusterSpec& base = bayreuth32());
+
+/// Built-in platforms addressable by name (the CLI's `--platform NAME`):
+///   bayreuth32  - the paper's flat 32-node star
+///   cray_xt4    - the paper's second platform (flat, 64 nodes)
+///   hier1x32    - one rack of 32 bayreuth nodes (reduces exactly to
+///                 bayreuth32; the bit-identity check platform)
+///   hier2x16    - 2 racks x 16 nodes, non-oversubscribed
+///   hier4x8     - 4 racks x 8 nodes, 4:1 oversubscribed uplinks
+/// Returns std::nullopt for unknown names (callers fall back to file
+/// paths).
+std::optional<ClusterSpec> named_platform(const std::string& name);
+
+/// The names named_platform accepts, for help texts and error messages.
+std::vector<std::string> named_platform_names();
+
+}  // namespace mtsched::platform

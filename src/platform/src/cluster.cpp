@@ -5,8 +5,23 @@
 #include "mtsched/core/error.hpp"
 #include "mtsched/core/rng.hpp"
 #include "mtsched/core/units.hpp"
+#include "mtsched/platform/topology.hpp"
 
 namespace mtsched::platform {
+
+bool ClusterSpec::hierarchical() const {
+  return topology != nullptr && !topology->reduces_to_star();
+}
+
+double ClusterSpec::route_latency(int a, int b) const {
+  if (topology != nullptr) return topology->route_latency(a, b);
+  return a == b ? 0.0 : route_latency();
+}
+
+double ClusterSpec::max_route_latency() const {
+  if (topology != nullptr) return topology->max_route_latency();
+  return route_latency();
+}
 
 double ClusterSpec::flops_of(int node_id) const {
   MTSCHED_REQUIRE(node_id >= 0 && node_id < num_nodes, "node out of range");
@@ -47,6 +62,11 @@ void ClusterSpec::validate() const {
   MTSCHED_REQUIRE(net.backbone_bandwidth > 0.0,
                   "backbone bandwidth must be positive");
   MTSCHED_REQUIRE(net.backbone_latency >= 0.0, "backbone latency must be >= 0");
+  if (topology != nullptr) {
+    topology->validate();
+    MTSCHED_REQUIRE(topology->num_nodes() == num_nodes,
+                    "attached topology node count must match num_nodes");
+  }
 }
 
 ClusterSpec bayreuth32() {

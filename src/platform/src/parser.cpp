@@ -37,6 +37,37 @@ bool parse_bool(const std::string& v, std::size_t lineno) {
                          std::to_string(lineno));
 }
 
+int parse_int(const std::string& v, std::size_t lineno) {
+  const double d = parse_double(v, lineno);
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d) {
+    throw core::ParseError("expected integer, got '" + v + "' on line " +
+                           std::to_string(lineno));
+  }
+  return i;
+}
+
+std::vector<double> parse_speeds(const std::string& v, std::size_t lineno) {
+  std::istringstream vs(v);
+  std::string tok;
+  std::vector<double> speeds;
+  while (vs >> tok) speeds.push_back(parse_double(tok, lineno));
+  return speeds;
+}
+
+/// The first line that survives comment stripping and trimming.
+std::string first_significant_line(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (!line.empty()) return line;
+  }
+  return {};
+}
+
 }  // namespace
 
 ClusterSpec parse_cluster(const std::string& text) {
@@ -105,6 +136,166 @@ std::string to_text(const ClusterSpec& spec) {
     os << '\n';
   }
   return os.str();
+}
+
+Topology parse_topology(const std::string& text) {
+  if (first_significant_line(text) != kPlatformSchema) {
+    throw core::ParseError(std::string("missing '") + kPlatformSchema +
+                           "' header line");
+  }
+  Topology topo;
+  topo.racks.clear();
+
+  // Section state: "" = top-level, "core", "rack".
+  std::string section;
+  RackSpec rack;
+  int rack_count = 1;
+  bool header_seen = false;
+  auto flush_rack = [&] {
+    if (section != "rack") return;
+    for (int i = 0; i < rack_count; ++i) topo.racks.push_back(rack);
+  };
+
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (!header_seen) {
+      // first_significant_line already verified this equals the schema id
+      header_seen = true;
+      continue;
+    }
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        throw core::ParseError("malformed section header on line " +
+                               std::to_string(lineno));
+      }
+      flush_rack();
+      section = trim(line.substr(1, line.size() - 2));
+      if (section == "rack") {
+        rack = RackSpec{};
+        rack_count = 1;
+      } else if (section != "core") {
+        throw core::ParseError("unknown section '[" + section +
+                               "]' on line " + std::to_string(lineno));
+      }
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw core::ParseError("expected key = value on line " +
+                             std::to_string(lineno));
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (section.empty()) {
+      if (key == "name") {
+        topo.name = value;
+      } else {
+        throw core::ParseError("unknown top-level key '" + key +
+                               "' on line " + std::to_string(lineno));
+      }
+    } else if (section == "core") {
+      if (key == "bandwidth") {
+        topo.core.bandwidth = parse_double(value, lineno);
+      } else if (key == "latency") {
+        topo.core.latency = parse_double(value, lineno);
+      } else if (key == "shared") {
+        topo.core.shared = parse_bool(value, lineno);
+      } else {
+        throw core::ParseError("unknown [core] key '" + key + "' on line " +
+                               std::to_string(lineno));
+      }
+    } else {  // rack
+      if (key == "count") {
+        rack_count = parse_int(value, lineno);
+        if (rack_count < 1) {
+          throw core::ParseError("rack count must be >= 1 on line " +
+                                 std::to_string(lineno));
+        }
+      } else if (key == "nodes") {
+        rack.nodes = parse_int(value, lineno);
+      } else if (key == "node_flops") {
+        rack.node_flops = parse_double(value, lineno);
+      } else if (key == "link_bandwidth") {
+        rack.link_bandwidth = parse_double(value, lineno);
+      } else if (key == "link_latency") {
+        rack.link_latency = parse_double(value, lineno);
+      } else if (key == "tor_bandwidth") {
+        rack.tor_bandwidth = parse_double(value, lineno);
+      } else if (key == "tor_latency") {
+        rack.tor_latency = parse_double(value, lineno);
+      } else if (key == "shared_tor") {
+        rack.shared_tor = parse_bool(value, lineno);
+      } else if (key == "oversubscription") {
+        rack.oversubscription = parse_double(value, lineno);
+      } else if (key == "uplink_bandwidth") {
+        rack.uplink_bandwidth = parse_double(value, lineno);
+      } else if (key == "node_speeds") {
+        rack.node_speeds = parse_speeds(value, lineno);
+      } else {
+        throw core::ParseError("unknown [rack] key '" + key + "' on line " +
+                               std::to_string(lineno));
+      }
+    }
+  }
+  flush_rack();
+  topo.validate();
+  return topo;
+}
+
+std::string to_text(const Topology& topo) {
+  std::ostringstream os;
+  os.precision(17);
+  os << kPlatformSchema << '\n';
+  os << "name = " << topo.name << '\n';
+  os << "[core]\n";
+  os << "bandwidth = " << topo.core.bandwidth << '\n';
+  os << "latency = " << topo.core.latency << '\n';
+  os << "shared = " << (topo.core.shared ? "true" : "false") << '\n';
+  for (std::size_t i = 0; i < topo.racks.size();) {
+    const RackSpec& r = topo.racks[i];
+    std::size_t run = 1;
+    while (i + run < topo.racks.size() && topo.racks[i + run] == r) ++run;
+    os << "[rack]\n";
+    if (run > 1) os << "count = " << run << '\n';
+    os << "nodes = " << r.nodes << '\n';
+    os << "node_flops = " << r.node_flops << '\n';
+    os << "link_bandwidth = " << r.link_bandwidth << '\n';
+    os << "link_latency = " << r.link_latency << '\n';
+    os << "tor_bandwidth = " << r.tor_bandwidth << '\n';
+    os << "tor_latency = " << r.tor_latency << '\n';
+    os << "shared_tor = " << (r.shared_tor ? "true" : "false") << '\n';
+    os << "oversubscription = " << r.oversubscription << '\n';
+    os << "uplink_bandwidth = " << r.uplink_bandwidth << '\n';
+    if (!r.node_speeds.empty()) {
+      os << "node_speeds =";
+      for (double v : r.node_speeds) os << ' ' << v;
+      os << '\n';
+    }
+    i += run;
+  }
+  return os.str();
+}
+
+ClusterSpec parse_platform(const std::string& text,
+                           std::string* deprecation_note) {
+  if (deprecation_note != nullptr) deprecation_note->clear();
+  if (first_significant_line(text) == kPlatformSchema) {
+    return to_cluster(parse_topology(text));
+  }
+  if (deprecation_note != nullptr) {
+    *deprecation_note =
+        std::string("platform file uses the deprecated flat key = value "
+                    "format; add a '") +
+        kPlatformSchema + "' header and rack/core sections";
+  }
+  return parse_cluster(text);
 }
 
 }  // namespace mtsched::platform

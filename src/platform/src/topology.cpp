@@ -1,0 +1,221 @@
+#include "mtsched/platform/topology.hpp"
+
+#include <algorithm>
+
+#include "mtsched/core/error.hpp"
+
+namespace mtsched::platform {
+
+double RackSpec::effective_uplink_bandwidth() const {
+  if (uplink_bandwidth > 0.0) return uplink_bandwidth;
+  return static_cast<double>(nodes) * link_bandwidth / oversubscription;
+}
+
+int Topology::num_nodes() const {
+  int n = 0;
+  for (const auto& r : racks) n += r.nodes;
+  return n;
+}
+
+int Topology::rack_of(int node) const {
+  MTSCHED_REQUIRE(node >= 0, "node out of range");
+  int base = 0;
+  for (std::size_t r = 0; r < racks.size(); ++r) {
+    base += racks[r].nodes;
+    if (node < base) return static_cast<int>(r);
+  }
+  throw core::InvalidArgument("node out of range");
+}
+
+int Topology::first_node_of(int rack) const {
+  MTSCHED_REQUIRE(rack >= 0 && rack < num_racks(), "rack out of range");
+  int base = 0;
+  for (int r = 0; r < rack; ++r) base += racks[static_cast<std::size_t>(r)].nodes;
+  return base;
+}
+
+double Topology::flops_of(int node) const {
+  const auto& r = racks[static_cast<std::size_t>(rack_of(node))];
+  if (r.node_speeds.empty()) return r.node_flops;
+  const int local = node - first_node_of(rack_of(node));
+  return r.node_speeds[static_cast<std::size_t>(local)];
+}
+
+double Topology::route_latency(int a, int b) const {
+  if (a == b) return 0.0;
+  const auto ra = static_cast<std::size_t>(rack_of(a));
+  const auto rb = static_cast<std::size_t>(rack_of(b));
+  if (ra == rb) {
+    // Same expression as the star's route_latency(): a one-rack topology
+    // must reproduce the flat value bit for bit.
+    return 2.0 * racks[ra].link_latency + racks[ra].tor_latency;
+  }
+  return racks[ra].link_latency + racks[ra].tor_latency + core.latency +
+         racks[rb].tor_latency + racks[rb].link_latency;
+}
+
+double Topology::max_route_latency() const {
+  double worst = 0.0;
+  for (std::size_t a = 0; a < racks.size(); ++a) {
+    if (racks[a].nodes > 1) {
+      worst = std::max(worst,
+                       2.0 * racks[a].link_latency + racks[a].tor_latency);
+    }
+    for (std::size_t b = 0; b < racks.size(); ++b) {
+      if (a == b) continue;
+      worst = std::max(worst, racks[a].link_latency + racks[a].tor_latency +
+                                  core.latency + racks[b].tor_latency +
+                                  racks[b].link_latency);
+    }
+  }
+  if (worst == 0.0 && !racks.empty()) {
+    // Single-node platform: keep the star convention (the intra-rack
+    // route) so estimators still charge a finite latency term.
+    worst = 2.0 * racks[0].link_latency + racks[0].tor_latency;
+  }
+  return worst;
+}
+
+double Topology::min_uplink_bandwidth() const {
+  MTSCHED_REQUIRE(!racks.empty(), "topology needs at least one rack");
+  double lo = racks[0].effective_uplink_bandwidth();
+  for (const auto& r : racks) {
+    lo = std::min(lo, r.effective_uplink_bandwidth());
+  }
+  return lo;
+}
+
+void Topology::validate() const {
+  MTSCHED_REQUIRE(!racks.empty(), "topology needs at least one rack");
+  for (const auto& r : racks) {
+    MTSCHED_REQUIRE(r.nodes >= 1, "rack needs at least one node");
+    MTSCHED_REQUIRE(r.node_flops > 0.0, "node speed must be positive");
+    MTSCHED_REQUIRE(r.link_bandwidth > 0.0, "link bandwidth must be positive");
+    MTSCHED_REQUIRE(r.link_latency >= 0.0, "link latency must be >= 0");
+    MTSCHED_REQUIRE(r.tor_bandwidth > 0.0, "ToR bandwidth must be positive");
+    MTSCHED_REQUIRE(r.tor_latency >= 0.0, "ToR latency must be >= 0");
+    MTSCHED_REQUIRE(r.oversubscription > 0.0,
+                    "oversubscription ratio must be positive");
+    MTSCHED_REQUIRE(r.uplink_bandwidth >= 0.0,
+                    "uplink bandwidth must be >= 0 (0 = derived)");
+    if (!r.node_speeds.empty()) {
+      MTSCHED_REQUIRE(r.node_speeds.size() ==
+                          static_cast<std::size_t>(r.nodes),
+                      "rack node_speeds must have one entry per node");
+      for (double s : r.node_speeds) {
+        MTSCHED_REQUIRE(s > 0.0, "node speeds must be positive");
+      }
+    }
+  }
+  MTSCHED_REQUIRE(core.bandwidth > 0.0, "core bandwidth must be positive");
+  MTSCHED_REQUIRE(core.latency >= 0.0, "core latency must be >= 0");
+}
+
+ClusterSpec to_cluster(const Topology& topo) {
+  topo.validate();
+  ClusterSpec spec;
+  spec.name = topo.name;
+  spec.num_nodes = topo.num_nodes();
+  const RackSpec& r0 = topo.racks.front();
+  spec.node.flops = r0.node_flops;
+  spec.net.link_bandwidth = r0.link_bandwidth;
+  spec.net.link_latency = r0.link_latency;
+  if (topo.reduces_to_star()) {
+    // Exact: the one rack's ToR *is* the star backbone.
+    spec.net.backbone_bandwidth = r0.tor_bandwidth;
+    spec.net.backbone_latency = r0.tor_latency;
+    spec.net.shared_backbone = r0.shared_tor;
+  } else {
+    // Flat approximation for topology-blind consumers: the core stands in
+    // for the backbone. Topology-aware code reads spec.topology instead.
+    spec.net.backbone_bandwidth = topo.core.bandwidth;
+    spec.net.backbone_latency = topo.core.latency;
+    spec.net.shared_backbone = topo.core.shared;
+  }
+  // Per-node speeds are flattened whenever any rack deviates from the
+  // reference (rack 0) speed or carries explicit per-node speeds.
+  bool uniform = true;
+  for (const auto& r : topo.racks) {
+    if (r.node_flops != r0.node_flops || !r.node_speeds.empty()) {
+      uniform = false;
+      break;
+    }
+  }
+  if (!uniform) {
+    spec.node_speeds.reserve(static_cast<std::size_t>(spec.num_nodes));
+    for (int n = 0; n < spec.num_nodes; ++n) {
+      spec.node_speeds.push_back(topo.flops_of(n));
+    }
+  }
+  spec.topology = std::make_shared<const Topology>(topo);
+  spec.validate();
+  return spec;
+}
+
+Topology star_topology(const ClusterSpec& spec) {
+  MTSCHED_REQUIRE(spec.topology == nullptr,
+                  "spec already carries a topology");
+  spec.validate();
+  Topology topo;
+  topo.name = spec.name;
+  RackSpec rack;
+  rack.nodes = spec.num_nodes;
+  rack.node_flops = spec.node.flops;
+  rack.link_bandwidth = spec.net.link_bandwidth;
+  rack.link_latency = spec.net.link_latency;
+  rack.tor_bandwidth = spec.net.backbone_bandwidth;
+  rack.tor_latency = spec.net.backbone_latency;
+  rack.shared_tor = spec.net.shared_backbone;
+  rack.node_speeds = spec.node_speeds;
+  topo.racks.push_back(std::move(rack));
+  topo.core.bandwidth = spec.net.backbone_bandwidth;
+  topo.core.latency = spec.net.backbone_latency;
+  topo.core.shared = spec.net.shared_backbone;
+  return topo;
+}
+
+Topology hierarchical_topology(int num_racks, int nodes_per_rack,
+                               double oversubscription,
+                               const ClusterSpec& base) {
+  MTSCHED_REQUIRE(num_racks >= 1, "need at least one rack");
+  MTSCHED_REQUIRE(nodes_per_rack >= 1, "need at least one node per rack");
+  Topology topo;
+  topo.name = "hier" + std::to_string(num_racks) + "x" +
+              std::to_string(nodes_per_rack);
+  RackSpec rack;
+  rack.nodes = nodes_per_rack;
+  rack.node_flops = base.node.flops;
+  rack.link_bandwidth = base.net.link_bandwidth;
+  rack.link_latency = base.net.link_latency;
+  rack.tor_bandwidth = base.net.backbone_bandwidth;
+  rack.tor_latency = base.net.backbone_latency;
+  rack.shared_tor = base.net.shared_backbone;
+  rack.oversubscription = oversubscription;
+  topo.racks.assign(static_cast<std::size_t>(num_racks), rack);
+  topo.core.bandwidth = base.net.backbone_bandwidth;
+  topo.core.latency = base.net.backbone_latency;
+  topo.core.shared = base.net.shared_backbone;
+  topo.validate();
+  return topo;
+}
+
+std::optional<ClusterSpec> named_platform(const std::string& name) {
+  if (name == "bayreuth32") return bayreuth32();
+  if (name == "cray_xt4") return cray_xt4();
+  if (name == "hier1x32") {
+    return to_cluster(hierarchical_topology(1, 32, 1.0));
+  }
+  if (name == "hier2x16") {
+    return to_cluster(hierarchical_topology(2, 16, 1.0));
+  }
+  if (name == "hier4x8") {
+    return to_cluster(hierarchical_topology(4, 8, 4.0));
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> named_platform_names() {
+  return {"bayreuth32", "cray_xt4", "hier1x32", "hier2x16", "hier4x8"};
+}
+
+}  // namespace mtsched::platform

@@ -10,9 +10,12 @@
 // the CPA family.
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "mtsched/dag/dag.hpp"
+#include "mtsched/platform/cluster.hpp"
 #include "mtsched/sched/cost.hpp"
 #include "mtsched/sched/schedule.hpp"
 
@@ -28,13 +31,33 @@ enum class MappingStrategy {
   /// of the allocation that overlaps the predecessors' processors
   /// (same-node transfers are local copies).
   RedistributionAware,
+  /// Rack-locality-aware (hierarchical platforms): like
+  /// RedistributionAware, but a processor sharing a rack with a data
+  /// holder earns a partial locality bonus — its transfers skip the rack
+  /// uplink and core — and the payload discount counts such members at
+  /// the sigma weight (the uplink's share of the per-byte path cost).
+  /// Degenerates exactly to RedistributionAware on star platforms.
+  RackAware,
 };
+
+/// Stable wire/CLI name of a strategy: "earliest", "redist_aware",
+/// "rack_aware".
+const char* mapping_name(MappingStrategy s);
+
+/// Inverse of mapping_name; std::nullopt for unknown names.
+std::optional<MappingStrategy> parse_mapping(const std::string& name);
 
 class ListMapper {
  public:
   explicit ListMapper(
       MappingStrategy strategy = MappingStrategy::EarliestStart,
       double locality_weight = 1.0);
+
+  /// Platform-aware mapper: required for MappingStrategy::RackAware (the
+  /// rack structure comes from spec.topology; flat specs yield sigma 0
+  /// and RedistributionAware behaviour).
+  ListMapper(MappingStrategy strategy, const platform::ClusterSpec& spec,
+             double locality_weight = 1.0);
 
   /// Maps `g` with the given per-task allocation sizes onto P processors.
   /// Allocation entries must lie in [1, P]. The returned schedule carries
@@ -44,9 +67,20 @@ class ListMapper {
 
   MappingStrategy strategy() const { return strategy_; }
 
+  /// The same-rack bonus weight in [0, 1): the uplink's share of the
+  /// per-byte cross-rack path cost. 0 on star platforms (and whenever no
+  /// platform was given).
+  double rack_sigma() const { return sigma_; }
+  /// Rack of processor `pr` (0 when no platform/topology was given).
+  int rack_of(int pr) const;
+  int num_racks() const { return num_racks_; }
+
  private:
   MappingStrategy strategy_;
   double locality_weight_;
+  std::vector<int> rack_of_;  ///< per node; empty = single implicit rack
+  int num_racks_ = 1;
+  double sigma_ = 0.0;
 };
 
 /// Convenience: allocation followed by mapping.

@@ -8,9 +8,29 @@
 #include "list_common.hpp"
 #include "mtsched/core/error.hpp"
 #include "mtsched/obs/trace.hpp"
+#include "mtsched/platform/topology.hpp"
 #include "mtsched/sched/allocation.hpp"
 
 namespace mtsched::sched {
+
+const char* mapping_name(MappingStrategy s) {
+  switch (s) {
+    case MappingStrategy::EarliestStart:
+      return "earliest";
+    case MappingStrategy::RedistributionAware:
+      return "redist_aware";
+    case MappingStrategy::RackAware:
+      return "rack_aware";
+  }
+  throw core::InvalidArgument("unknown mapping strategy");
+}
+
+std::optional<MappingStrategy> parse_mapping(const std::string& name) {
+  if (name == "earliest") return MappingStrategy::EarliestStart;
+  if (name == "redist_aware") return MappingStrategy::RedistributionAware;
+  if (name == "rack_aware") return MappingStrategy::RackAware;
+  return std::nullopt;
+}
 
 ListMapper::ListMapper(MappingStrategy strategy, double locality_weight)
     : strategy_(strategy), locality_weight_(locality_weight) {
@@ -18,13 +38,47 @@ ListMapper::ListMapper(MappingStrategy strategy, double locality_weight)
                   "locality weight must be non-negative");
 }
 
+ListMapper::ListMapper(MappingStrategy strategy,
+                       const platform::ClusterSpec& spec,
+                       double locality_weight)
+    : ListMapper(strategy, locality_weight) {
+  if (spec.topology == nullptr) return;
+  const platform::Topology& topo = *spec.topology;
+  num_racks_ = topo.num_racks();
+  rack_of_.reserve(static_cast<std::size_t>(spec.num_nodes));
+  for (int r = 0; r < num_racks_; ++r) {
+    for (int k = 0; k < topo.racks[static_cast<std::size_t>(r)].nodes; ++k) {
+      rack_of_.push_back(r);
+    }
+  }
+  if (spec.hierarchical()) {
+    // sigma: the rack uplink's share of the per-byte cross-rack path cost
+    // — what a same-rack (but non-holder) processor saves relative to a
+    // cross-rack one. 0 when uplinks are infinitely fast; -> 1 as the
+    // uplink becomes the bottleneck.
+    const double inv_link = 1.0 / spec.net.link_bandwidth;
+    const double inv_uplink = 1.0 / topo.min_uplink_bandwidth();
+    sigma_ = 1.0 - inv_link / (inv_link + inv_uplink);
+  }
+}
+
+int ListMapper::rack_of(int pr) const {
+  MTSCHED_REQUIRE(pr >= 0, "processor out of range");
+  if (rack_of_.empty()) return 0;
+  MTSCHED_REQUIRE(pr < static_cast<int>(rack_of_.size()),
+                  "processor out of range");
+  return rack_of_[static_cast<std::size_t>(pr)];
+}
+
 Schedule ListMapper::map(const dag::Dag& g, const std::vector<int>& alloc,
                          const SchedCost& cost, int P) const {
   const obs::Span obs_span(
       obs::current_track(), "sched",
-      strategy_ == MappingStrategy::RedistributionAware
-          ? "map:redist_aware"
-          : "map:earliest_start",
+      strategy_ == MappingStrategy::EarliestStart
+          ? "map:earliest_start"
+          : (strategy_ == MappingStrategy::RedistributionAware
+                 ? "map:redist_aware"
+                 : "map:rack_aware"),
       {{"tasks", std::to_string(g.num_tasks())}, {"P", std::to_string(P)}});
   MTSCHED_REQUIRE(P >= 1, "cluster must have at least one processor");
   MTSCHED_REQUIRE(alloc.size() == g.num_tasks(),
@@ -32,7 +86,13 @@ Schedule ListMapper::map(const dag::Dag& g, const std::vector<int>& alloc,
   for (int a : alloc) {
     MTSCHED_REQUIRE(a >= 1 && a <= P, "allocation entries must be in [1, P]");
   }
-  const bool redist_aware = strategy_ == MappingStrategy::RedistributionAware;
+  const bool redist_aware = strategy_ != MappingStrategy::EarliestStart;
+  // Rack machinery engages only when it can change the result: a genuine
+  // multi-rack sigma and rack data covering the cluster. Otherwise
+  // RackAware degenerates to RedistributionAware exactly.
+  const bool rack_aware = strategy_ == MappingStrategy::RackAware &&
+                          sigma_ > 0.0 &&
+                          static_cast<std::size_t>(P) <= rack_of_.size();
 
   std::vector<double> tau(g.num_tasks());
   for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
@@ -74,6 +134,27 @@ Schedule ListMapper::map(const dag::Dag& g, const std::vector<int>& alloc,
   std::vector<double> redist_ovh;   // redist_overhead_time(p_q, p_t) per pred
   std::vector<int> est_set, loc_set;
 
+  // Rack-aware scratch: per-rack processor bitmasks (narrow clusters), a
+  // per-pred rack-expanded holder mask, and epoch-stamped per-rack flags
+  // for the wide fallback — mirroring the holder machinery one level up.
+  std::vector<std::uint64_t> rack_masks;     // procs of each rack, P <= 64
+  std::vector<std::uint64_t> pred_rack_mask; // per pred: racks(q)'s procs
+  std::vector<std::uint32_t> rack_hold_stamp;
+  std::vector<std::uint32_t> rack_eval_stamp;
+  std::uint32_t rack_epoch = 0;  // bumped per (evaluation, predecessor)
+  if (rack_aware) {
+    if (use_masks) {
+      rack_masks.assign(static_cast<std::size_t>(num_racks_), 0);
+      for (int pr = 0; pr < P; ++pr) {
+        rack_masks[static_cast<std::size_t>(rack_of_[static_cast<std::size_t>(
+            pr)])] |= std::uint64_t{1} << pr;
+      }
+    } else {
+      rack_hold_stamp.assign(static_cast<std::size_t>(num_racks_), 0);
+      rack_eval_stamp.assign(static_cast<std::size_t>(num_racks_), 0);
+    }
+  }
+
   // Processors ordered by (availability, id) — the EST ranking. A
   // placement moves only the processors it used, all to the same finish
   // time, so the ranking is repaired by removing them and merging them
@@ -96,10 +177,12 @@ Schedule ListMapper::map(const dag::Dag& g, const std::vector<int>& alloc,
     // redistribution estimate per predecessor — all gathered in one pass.
     ++hold_epoch;
     std::uint64_t holders = 0;
+    std::uint64_t holder_rack_procs = 0;  // all procs of racks with holders
     double producers_done = 0.0;
     double mean_redist = 0.0;
     redist_base.clear();
     redist_ovh.clear();
+    pred_rack_mask.clear();
     for (dag::TaskId q : preds) {
       const auto& qp = s.placements[q];
       const int p_q = static_cast<int>(qp.procs.size());
@@ -111,9 +194,22 @@ Schedule ListMapper::map(const dag::Dag& g, const std::vector<int>& alloc,
         redist_ovh.push_back(cost.redist_overhead_time(p_q, p_t));
         if (use_masks) {
           holders |= placed_mask[q];
+          if (rack_aware) {
+            std::uint64_t rm = 0;
+            for (int pr : qp.procs) {
+              rm |= rack_masks[static_cast<std::size_t>(
+                  rack_of_[static_cast<std::size_t>(pr)])];
+            }
+            pred_rack_mask.push_back(rm);
+            holder_rack_procs |= rm;
+          }
         } else {
           for (int pr : qp.procs) {
             holds_stamp[static_cast<std::size_t>(pr)] = hold_epoch;
+            if (rack_aware) {
+              rack_hold_stamp[static_cast<std::size_t>(
+                  rack_of_[static_cast<std::size_t>(pr)])] = hold_epoch;
+            }
           }
         }
       }
@@ -144,8 +240,12 @@ Schedule ListMapper::map(const dag::Dag& g, const std::vector<int>& alloc,
         double redist = redist_base[qi];
         if (redist_aware) {
           int overlap;
+          int in_rack = 0;  // set members sharing a rack with q's procs
           if (use_masks) {
             overlap = std::popcount(placed_mask[preds[qi]] & set_mask);
+            if (rack_aware) {
+              in_rack = std::popcount(pred_rack_mask[qi] & set_mask);
+            }
           } else {
             overlap = 0;
             for (int pr : qp.procs) {
@@ -153,11 +253,30 @@ Schedule ListMapper::map(const dag::Dag& g, const std::vector<int>& alloc,
                 ++overlap;
               }
             }
+            if (rack_aware) {
+              ++rack_epoch;
+              for (int pr : qp.procs) {
+                rack_eval_stamp[static_cast<std::size_t>(
+                    rack_of_[static_cast<std::size_t>(pr)])] = rack_epoch;
+              }
+              for (int pr : set) {
+                if (rack_eval_stamp[static_cast<std::size_t>(
+                        rack_of_[static_cast<std::size_t>(pr)])] ==
+                    rack_epoch) {
+                  ++in_rack;
+                }
+              }
+            }
           }
           const double overhead = redist_ovh[qi];
           const double payload = std::max(0.0, redist - overhead);
-          const double remote_frac =
-              1.0 - static_cast<double>(overlap) / static_cast<double>(p_t);
+          // Holders count fully; same-rack non-holders save only the
+          // uplink/core share of the path, i.e. sigma per member.
+          double covered = static_cast<double>(overlap);
+          if (rack_aware) {
+            covered += sigma_ * static_cast<double>(in_rack - overlap);
+          }
+          const double remote_frac = 1.0 - covered / static_cast<double>(p_t);
           redist = overhead + payload * remote_frac;
         }
         ready_at = std::max(ready_at, qp.est_finish + redist);
@@ -191,54 +310,121 @@ Schedule ListMapper::map(const dag::Dag& g, const std::vector<int>& alloc,
       // class, filtered out of the availability ranking, is already
       // ordered by the loc key (score, availability, id): the p_t best
       // come from a two-stream merge — no per-placement sort or
-      // selection over the cluster.
+      // selection over the cluster. Rack-aware mapping adds a third
+      // class between the two: same-rack non-holders, whose bonus is the
+      // sigma share of a holder's.
       const double bonus = locality_weight_ * mean_redist;
-      auto is_holder = [&](int pr) {
-        return use_masks
-                   ? ((holders >> pr) & 1u) != 0
-                   : holds_stamp[static_cast<std::size_t>(pr)] == hold_epoch;
-      };
-      std::size_t cur[2] = {0, 0};   // stream cursors into by_ready
-      int head[2] = {-1, -1};        // next processor per class, -1 = done
-      double head_score[2] = {0.0, 0.0};
-      auto fetch = [&](int cls) {
-        std::size_t& c = cur[cls];
-        while (c < static_cast<std::size_t>(P)) {
-          const int pr = by_ready[c];
-          if (static_cast<int>(is_holder(pr)) == cls) {
-            const double effective = std::max(
-                proc_ready[static_cast<std::size_t>(pr)], producers_done);
-            head[cls] = pr;
-            head_score[cls] = cls == 1 ? effective - bonus : effective;
-            return;
+      if (!rack_aware) {
+        auto is_holder = [&](int pr) {
+          return use_masks
+                     ? ((holders >> pr) & 1u) != 0
+                     : holds_stamp[static_cast<std::size_t>(pr)] == hold_epoch;
+        };
+        std::size_t cur[2] = {0, 0};   // stream cursors into by_ready
+        int head[2] = {-1, -1};        // next processor per class, -1 = done
+        double head_score[2] = {0.0, 0.0};
+        auto fetch = [&](int cls) {
+          std::size_t& c = cur[cls];
+          while (c < static_cast<std::size_t>(P)) {
+            const int pr = by_ready[c];
+            if (static_cast<int>(is_holder(pr)) == cls) {
+              const double effective = std::max(
+                  proc_ready[static_cast<std::size_t>(pr)], producers_done);
+              head[cls] = pr;
+              head_score[cls] = cls == 1 ? effective - bonus : effective;
+              return;
+            }
+            ++c;
           }
-          ++c;
-        }
-        head[cls] = -1;
-      };
-      fetch(0);
-      fetch(1);
-      loc_set.clear();
-      while (static_cast<int>(loc_set.size()) < p_t) {
-        int cls;
-        if (head[0] < 0) {
-          cls = 1;
-        } else if (head[1] < 0) {
-          cls = 0;
-        } else if (head_score[0] != head_score[1]) {
-          cls = head_score[0] < head_score[1] ? 0 : 1;
-        } else {
-          const double r0 = proc_ready[static_cast<std::size_t>(head[0])];
-          const double r1 = proc_ready[static_cast<std::size_t>(head[1])];
-          if (r0 != r1) {
-            cls = r0 < r1 ? 0 : 1;
+          head[cls] = -1;
+        };
+        fetch(0);
+        fetch(1);
+        loc_set.clear();
+        while (static_cast<int>(loc_set.size()) < p_t) {
+          int cls;
+          if (head[0] < 0) {
+            cls = 1;
+          } else if (head[1] < 0) {
+            cls = 0;
+          } else if (head_score[0] != head_score[1]) {
+            cls = head_score[0] < head_score[1] ? 0 : 1;
           } else {
-            cls = head[0] < head[1] ? 0 : 1;
+            const double r0 = proc_ready[static_cast<std::size_t>(head[0])];
+            const double r1 = proc_ready[static_cast<std::size_t>(head[1])];
+            if (r0 != r1) {
+              cls = r0 < r1 ? 0 : 1;
+            } else {
+              cls = head[0] < head[1] ? 0 : 1;
+            }
           }
+          loc_set.push_back(head[cls]);
+          ++cur[cls];
+          fetch(cls);
         }
-        loc_set.push_back(head[cls]);
-        ++cur[cls];
-        fetch(cls);
+      } else {
+        // Classes: 0 = other rack (no bonus), 1 = same rack as a holder
+        // (sigma * bonus), 2 = holder (full bonus).
+        const double bonus_of[3] = {0.0, sigma_ * bonus, bonus};
+        auto class_of = [&](int pr) -> int {
+          if (use_masks) {
+            if ((holders >> pr) & 1u) return 2;
+            return ((holder_rack_procs >> pr) & 1u) != 0 ? 1 : 0;
+          }
+          if (holds_stamp[static_cast<std::size_t>(pr)] == hold_epoch) {
+            return 2;
+          }
+          return rack_hold_stamp[static_cast<std::size_t>(
+                     rack_of_[static_cast<std::size_t>(pr)])] == hold_epoch
+                     ? 1
+                     : 0;
+        };
+        std::size_t cur[3] = {0, 0, 0};
+        int head[3] = {-1, -1, -1};
+        double head_score[3] = {0.0, 0.0, 0.0};
+        auto fetch = [&](int cls) {
+          std::size_t& c = cur[cls];
+          while (c < static_cast<std::size_t>(P)) {
+            const int pr = by_ready[c];
+            if (class_of(pr) == cls) {
+              const double effective = std::max(
+                  proc_ready[static_cast<std::size_t>(pr)], producers_done);
+              head[cls] = pr;
+              head_score[cls] = effective - bonus_of[cls];
+              return;
+            }
+            ++c;
+          }
+          head[cls] = -1;
+        };
+        fetch(0);
+        fetch(1);
+        fetch(2);
+        loc_set.clear();
+        while (static_cast<int>(loc_set.size()) < p_t) {
+          int best = -1;
+          for (int cls = 0; cls < 3; ++cls) {
+            if (head[cls] < 0) continue;
+            if (best < 0) {
+              best = cls;
+              continue;
+            }
+            if (head_score[cls] != head_score[best]) {
+              if (head_score[cls] < head_score[best]) best = cls;
+              continue;
+            }
+            const double rc = proc_ready[static_cast<std::size_t>(head[cls])];
+            const double rb = proc_ready[static_cast<std::size_t>(head[best])];
+            if (rc != rb) {
+              if (rc < rb) best = cls;
+              continue;
+            }
+            if (head[cls] < head[best]) best = cls;
+          }
+          loc_set.push_back(head[best]);
+          ++cur[best];
+          fetch(best);
+        }
       }
       std::sort(loc_set.begin(), loc_set.end());
       // Keep whichever candidate starts (hence finishes) earlier; ties go

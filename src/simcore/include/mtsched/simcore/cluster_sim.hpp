@@ -6,6 +6,15 @@
 //     full duplex as in SimGrid's cluster model),
 //   * optionally one shared backbone resource for the switch fabric.
 //
+// Hierarchical platforms (spec.hierarchical(), i.e. an attached
+// multi-rack platform::Topology) expand into the full link graph instead:
+// per-node cpu/up/down as above, plus per rack an optional shared ToR
+// fabric resource and a full-duplex uplink/downlink pair into the core,
+// and optionally a shared core fabric. A transfer's bytes are charged to
+// every link on its route, so the max-min engine shares bandwidth per
+// link and redistribution cost becomes placement-dependent. One-rack
+// topologies take the star path and stay bit-identical to flat specs.
+//
 // A parallel task is described exactly as in the paper's Section IV: a
 // computation vector `a` (flops per participating rank) and a communication
 // matrix `B` (bytes exchanged between each pair of ranks). Submitting it
@@ -60,8 +69,25 @@ class ClusterSim {
   ResourceId cpu(int node) const;
   ResourceId uplink(int node) const;
   ResourceId downlink(int node) const;
-  bool has_backbone() const { return spec_.net.shared_backbone; }
+  /// Star platforms only (hierarchical specs expand per-link resources).
+  bool has_backbone() const {
+    return !hierarchical() && spec_.net.shared_backbone;
+  }
   ResourceId backbone() const;
+
+  /// True when the spec carries a multi-rack topology and this sim wired
+  /// the full link graph (per-rack ToR/uplink/core resources).
+  bool hierarchical() const { return !rack_of_.empty(); }
+  /// Rack owning `node` (hierarchical sims only).
+  int rack_of(int node) const;
+  /// The rack's shared ToR fabric; only valid when the rack's ToR is
+  /// shared (throws otherwise).
+  ResourceId tor(int rack) const;
+  /// The rack's core uplink / downlink resources.
+  ResourceId rack_uplink(int rack) const;
+  ResourceId rack_downlink(int rack) const;
+  bool has_core() const;
+  ResourceId core_switch() const;
 
   /// Submits a parallel task; `on_complete` fires when all of its
   /// computation and communication has finished. Returns the activity id.
@@ -83,6 +109,14 @@ class ClusterSim {
   std::vector<ResourceId> up_;
   std::vector<ResourceId> down_;
   ResourceId backbone_ = static_cast<ResourceId>(-1);
+  // Hierarchical wiring (empty / invalid on star platforms).
+  std::vector<int> rack_of_;        ///< node -> rack
+  std::vector<ResourceId> tor_;     ///< per rack; invalid if not shared
+  std::vector<ResourceId> torup_;   ///< per rack: uplink into the core
+  std::vector<ResourceId> tordown_; ///< per rack: downlink from the core
+  std::vector<double> rack_lat_;    ///< (racks x racks) route latencies
+  ResourceId core_ = static_cast<ResourceId>(-1);
+  bool has_core_ = false;
 };
 
 }  // namespace mtsched::simcore

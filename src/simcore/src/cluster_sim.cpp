@@ -4,6 +4,7 @@
 #include <map>
 
 #include "mtsched/core/error.hpp"
+#include "mtsched/platform/topology.hpp"
 
 namespace mtsched::simcore {
 
@@ -33,6 +34,48 @@ Ptask make_redistribution_ptask(const std::vector<int>& src_nodes,
 ClusterSim::ClusterSim(Engine& engine, const platform::ClusterSpec& spec)
     : engine_(engine), spec_(spec) {
   spec_.validate();
+  if (spec_.hierarchical()) {
+    const platform::Topology& topo = *spec_.topology;
+    const std::size_t racks = topo.racks.size();
+    int node = 0;
+    for (std::size_t r = 0; r < racks; ++r) {
+      const platform::RackSpec& rk = topo.racks[r];
+      for (int k = 0; k < rk.nodes; ++k, ++node) {
+        const std::string tag = std::to_string(node);
+        cpus_.push_back(engine_.add_resource(spec_.flops_of(node),
+                                             "cpu" + tag));
+        up_.push_back(engine_.add_resource(rk.link_bandwidth, "up" + tag));
+        down_.push_back(engine_.add_resource(rk.link_bandwidth,
+                                             "down" + tag));
+        rack_of_.push_back(static_cast<int>(r));
+      }
+      const std::string rtag = std::to_string(r);
+      tor_.push_back(rk.shared_tor
+                         ? engine_.add_resource(rk.tor_bandwidth, "tor" + rtag)
+                         : static_cast<ResourceId>(-1));
+      torup_.push_back(engine_.add_resource(rk.effective_uplink_bandwidth(),
+                                            "torup" + rtag));
+      tordown_.push_back(engine_.add_resource(rk.effective_uplink_bandwidth(),
+                                              "tordown" + rtag));
+    }
+    has_core_ = topo.core.shared;
+    if (has_core_) {
+      core_ = engine_.add_resource(topo.core.bandwidth, "core");
+    }
+    // Precompute per-rack-pair route latencies (same expressions as
+    // Topology::route_latency, hoisted out of build_uses).
+    rack_lat_.assign(racks * racks, 0.0);
+    for (std::size_t a = 0; a < racks; ++a) {
+      for (std::size_t b = 0; b < racks; ++b) {
+        rack_lat_[a * racks + b] =
+            a == b ? 2.0 * topo.racks[a].link_latency + topo.racks[a].tor_latency
+                   : topo.racks[a].link_latency + topo.racks[a].tor_latency +
+                         topo.core.latency + topo.racks[b].tor_latency +
+                         topo.racks[b].link_latency;
+      }
+    }
+    return;
+  }
   for (int i = 0; i < spec_.num_nodes; ++i) {
     const std::string tag = std::to_string(i);
     cpus_.push_back(engine_.add_resource(spec_.flops_of(i), "cpu" + tag));
@@ -61,9 +104,44 @@ ResourceId ClusterSim::downlink(int node) const {
 }
 
 ResourceId ClusterSim::backbone() const {
-  MTSCHED_REQUIRE(spec_.net.shared_backbone,
+  MTSCHED_REQUIRE(has_backbone(),
                   "platform has a non-blocking switch (no backbone resource)");
   return backbone_;
+}
+
+int ClusterSim::rack_of(int node) const {
+  MTSCHED_REQUIRE(hierarchical(), "star platform has no racks");
+  MTSCHED_REQUIRE(node >= 0 && node < spec_.num_nodes, "node out of range");
+  return rack_of_[static_cast<std::size_t>(node)];
+}
+
+ResourceId ClusterSim::tor(int rack) const {
+  MTSCHED_REQUIRE(rack >= 0 && rack < static_cast<int>(tor_.size()),
+                  "rack out of range");
+  const ResourceId id = tor_[static_cast<std::size_t>(rack)];
+  MTSCHED_REQUIRE(id != static_cast<ResourceId>(-1),
+                  "rack has a non-blocking ToR (no fabric resource)");
+  return id;
+}
+
+ResourceId ClusterSim::rack_uplink(int rack) const {
+  MTSCHED_REQUIRE(rack >= 0 && rack < static_cast<int>(torup_.size()),
+                  "rack out of range");
+  return torup_[static_cast<std::size_t>(rack)];
+}
+
+ResourceId ClusterSim::rack_downlink(int rack) const {
+  MTSCHED_REQUIRE(rack >= 0 && rack < static_cast<int>(tordown_.size()),
+                  "rack out of range");
+  return tordown_[static_cast<std::size_t>(rack)];
+}
+
+bool ClusterSim::has_core() const { return has_core_; }
+
+ResourceId ClusterSim::core_switch() const {
+  MTSCHED_REQUIRE(has_core_,
+                  "platform has a non-blocking core (no fabric resource)");
+  return core_;
 }
 
 std::pair<std::vector<Use>, double> ClusterSim::build_uses(
@@ -91,6 +169,9 @@ std::pair<std::vector<Use>, double> ClusterSim::build_uses(
     }
   }
   bool any_remote_comm = false;
+  const bool hier = hierarchical();
+  const std::size_t racks = tor_.size();
+  double hier_latency = 0.0;
   if (!task.bytes.empty()) {
     for (std::size_t i = 0; i < p; ++i) {
       for (std::size_t j = 0; j < p; ++j) {
@@ -103,14 +184,32 @@ std::pair<std::vector<Use>, double> ClusterSim::build_uses(
         any_remote_comm = true;
         weight[uplink(src)] += b;
         weight[downlink(dst)] += b;
-        if (spec_.net.shared_backbone) weight[backbone_] += b;
+        if (!hier) {
+          if (spec_.net.shared_backbone) weight[backbone_] += b;
+          continue;
+        }
+        // Charge every link on the route: ToR fabric(s) when shared, and
+        // for cross-rack transfers the uplink, core and downlink.
+        const auto ra = static_cast<std::size_t>(rack_of_[src]);
+        const auto rb = static_cast<std::size_t>(rack_of_[dst]);
+        if (tor_[ra] != static_cast<ResourceId>(-1)) weight[tor_[ra]] += b;
+        if (ra != rb) {
+          weight[torup_[ra]] += b;
+          if (has_core_) weight[core_] += b;
+          weight[tordown_[rb]] += b;
+          if (tor_[rb] != static_cast<ResourceId>(-1)) weight[tor_[rb]] += b;
+        }
+        hier_latency = std::max(hier_latency, rack_lat_[ra * racks + rb]);
       }
     }
   }
   std::vector<Use> uses;
   uses.reserve(weight.size());
   for (const auto& [res, w] : weight) uses.push_back(Use{res, w});
-  const double latency = any_remote_comm ? spec_.route_latency() : 0.0;
+  // L07 charges the route latency once; with distinct routes we charge the
+  // slowest route used — the one the last byte may traverse.
+  const double latency =
+      hier ? hier_latency : (any_remote_comm ? spec_.route_latency() : 0.0);
   return {std::move(uses), latency};
 }
 

@@ -237,9 +237,11 @@ double TGridEmulator::measure_redist_overhead(int p_src, int p_dst,
                         core::hash_mix(static_cast<std::uint64_t>(p_src),
                                        static_cast<std::uint64_t>(p_dst)));
   // The mostly-empty matrix's transfer time is negligible by construction;
-  // only the registration service and one network round remain.
+  // only the registration service and one network round remain. The round
+  // may take the worst route on hierarchical platforms (identical to
+  // route_latency() on stars).
   return machine_.redist_overhead_sample(p_src, p_dst, rng) +
-         spec_.route_latency();
+         spec_.max_route_latency();
 }
 
 }  // namespace mtsched::tgrid

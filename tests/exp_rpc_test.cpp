@@ -1,5 +1,6 @@
 // Wire-codec tests for mtsched.rpc.v1 (exp/rpc.hpp): request/response
-// round trips, 64-bit seed fidelity, double round-tripping, and the
+// round trips, 64-bit seed fidelity, double round-tripping, the optional
+// "platform" member's compatibility with pre-platform peers, and the
 // rejection of malformed payloads.
 #include "mtsched/exp/rpc.hpp"
 
@@ -17,7 +18,7 @@ exp::ScheduleRequest sample_request() {
   exp::ScheduleRequest req;
   req.dag_text = "task 0 matmul 2000 t0\ntask 1 matadd 2000 t1 0\n";
   req.algorithm = "MCPA";
-  req.redist_aware = true;
+  req.mapping = sched::MappingStrategy::RedistributionAware;
   req.model = models::ModelSpec::parse("empirical");
   req.exp_seed = 123456789ull;
   req.execute = false;
@@ -30,17 +31,51 @@ TEST(RpcCodec, RequestRoundTrips) {
   ASSERT_EQ(decoded.type, exp::RpcRequest::Type::Schedule);
   EXPECT_EQ(decoded.schedule.dag_text, req.dag_text);
   EXPECT_EQ(decoded.schedule.algorithm, req.algorithm);
-  EXPECT_EQ(decoded.schedule.redist_aware, req.redist_aware);
+  EXPECT_EQ(decoded.schedule.mapping, req.mapping);
   EXPECT_EQ(decoded.schedule.model.name(), "empirical");
   EXPECT_EQ(decoded.schedule.exp_seed, req.exp_seed);
   EXPECT_EQ(decoded.schedule.execute, req.execute);
+  EXPECT_TRUE(decoded.schedule.platform.empty());
 }
 
-TEST(RpcCodec, EarliestMappingRoundTrips) {
+TEST(RpcCodec, AllMappingStrategiesRoundTrip) {
+  for (const auto strategy : {sched::MappingStrategy::EarliestStart,
+                              sched::MappingStrategy::RedistributionAware,
+                              sched::MappingStrategy::RackAware}) {
+    auto req = sample_request();
+    req.mapping = strategy;
+    EXPECT_EQ(exp::parse_request(exp::encode_request(req)).schedule.mapping,
+              strategy)
+        << sched::mapping_name(strategy);
+  }
+}
+
+TEST(RpcCodec, PlatformMemberRoundTrips) {
   auto req = sample_request();
-  req.redist_aware = false;
-  EXPECT_FALSE(exp::parse_request(exp::encode_request(req))
-                   .schedule.redist_aware);
+  req.platform = "hier4x8";
+  const auto payload = exp::encode_request(req);
+  EXPECT_NE(payload.find("\"platform\":\"hier4x8\""), std::string::npos);
+  EXPECT_EQ(exp::parse_request(payload).schedule.platform, "hier4x8");
+}
+
+TEST(RpcCodec, DefaultPlatformIsOmittedFromRequestFrames) {
+  // The member is optional precisely so that default-platform frames stay
+  // byte-identical to what pre-platform clients send.
+  const auto payload = exp::encode_request(sample_request());
+  EXPECT_EQ(payload.find("platform"), std::string::npos);
+}
+
+TEST(RpcCodec, PrePlatformRequestFramesParse) {
+  // A frame as an old client would send it: no "platform" member at all.
+  const std::string payload =
+      "{\"schema\":\"mtsched.rpc.v1\",\"type\":\"schedule\","
+      "\"algorithm\":\"HCPA\",\"mapping\":\"earliest\","
+      "\"model\":\"profile\",\"exp_seed\":\"42\",\"execute\":true,"
+      "\"dag\":\"task 0 matmul 2000 t0\\n\"}";
+  const auto decoded = exp::parse_request(payload);
+  ASSERT_EQ(decoded.type, exp::RpcRequest::Type::Schedule);
+  EXPECT_TRUE(decoded.schedule.platform.empty());
+  EXPECT_EQ(decoded.schedule.mapping, sched::MappingStrategy::EarliestStart);
 }
 
 TEST(RpcCodec, SeedsAbove53BitsSurvive) {
@@ -63,6 +98,7 @@ TEST(RpcCodec, ResponseRoundTripsBitExactly) {
   resp.status = exp::ServiceStatus::Ok;
   resp.model = "profile";
   resp.algorithm = "HCPA";
+  resp.platform = "bayreuth32";
   resp.exp_seed = 42;
   resp.est_makespan = 0.1 + 0.2;  // not representable "nicely"
   resp.makespan_sim = 1.0 / 3.0;
@@ -75,6 +111,7 @@ TEST(RpcCodec, ResponseRoundTripsBitExactly) {
   EXPECT_TRUE(decoded.ok());
   EXPECT_EQ(decoded.model, resp.model);
   EXPECT_EQ(decoded.algorithm, resp.algorithm);
+  EXPECT_EQ(decoded.platform, resp.platform);
   EXPECT_EQ(decoded.exp_seed, resp.exp_seed);
   // Bit-exact, not approximately: the byte-identity of `request` output
   // with a local run rests on this.
@@ -83,6 +120,19 @@ TEST(RpcCodec, ResponseRoundTripsBitExactly) {
   EXPECT_EQ(decoded.makespan_exp, resp.makespan_exp);
   EXPECT_EQ(decoded.executed, resp.executed);
   EXPECT_EQ(decoded.allocation, resp.allocation);
+}
+
+TEST(RpcCodec, PrePlatformResponseFramesParse) {
+  // A response as an old server would send it: strip the platform member
+  // from a current frame. New clients must read it as "default platform".
+  exp::ScheduleResponse resp;
+  resp.platform = "stripme";
+  auto payload = exp::encode_response(resp);
+  const std::string member = ",\"platform\":\"stripme\"";
+  const auto pos = payload.find(member);
+  ASSERT_NE(pos, std::string::npos);
+  payload.erase(pos, member.size());
+  EXPECT_TRUE(exp::parse_response(payload).platform.empty());
 }
 
 TEST(RpcCodec, ErrorStatusesRoundTrip) {

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "mtsched/core/error.hpp"
 #include "mtsched/core/thread_pool.hpp"
 #include "mtsched/dag/export.hpp"
 #include "mtsched/dag/generator.hpp"
@@ -20,6 +21,7 @@
 #include "mtsched/exp/server.hpp"
 #include "mtsched/obs/metrics.hpp"
 #include "mtsched/obs/sink.hpp"
+#include "mtsched/platform/topology.hpp"
 
 namespace {
 
@@ -235,6 +237,117 @@ TEST(Service, ReportsMetricsThroughTheSink) {
   EXPECT_EQ(metrics.histogram("service.latency_seconds").summary().count, 2u);
   EXPECT_EQ(service.session().cache_hits(), 1u);
   EXPECT_EQ(service.session().cache_misses(), 1u);
+}
+
+// --- Platform registry ----------------------------------------------------
+
+/// A lab over an arbitrary platform spec, mirroring the CLI's --platform
+/// construction: built-in cluster behaviour scaled to the spec's node
+/// count and reference speed.
+std::unique_ptr<exp::Lab> lab_for_spec(platform::ClusterSpec spec) {
+  exp::LabConfig cfg;
+  cfg.machine.num_nodes = spec.num_nodes;
+  cfg.machine.nominal_flops = spec.node.flops;
+  if (spec.num_nodes != 32) {
+    cfg.sample_plan = profiling::SamplePlan::scaled(spec.num_nodes);
+  }
+  auto model = std::make_unique<machine::JavaClusterModel>(cfg.machine);
+  return std::make_unique<exp::Lab>(std::move(model), std::move(spec), cfg);
+}
+
+/// A small 2-rack platform so registry tests stay cheap (8 nodes).
+platform::ClusterSpec tiny_hier_spec() {
+  return platform::to_cluster(platform::hierarchical_topology(2, 4, 4.0));
+}
+
+TEST(Session, ResolvesRegisteredPlatformsByName) {
+  const auto hier_lab = lab_for_spec(tiny_hier_spec());
+  exp::Session session(lab());
+  session.add_platform(*hier_lab);
+  EXPECT_EQ(&session.resolve_lab(""), &lab());
+  EXPECT_EQ(&session.resolve_lab("hier2x4"), hier_lab.get());
+  EXPECT_THROW((void)session.resolve_lab("nosuch"),
+               mtsched::core::InvalidArgument);
+
+  auto req = sample_request();
+  req.platform = "hier2x4";
+  req.mapping = sched::MappingStrategy::RackAware;
+  const auto resp = session.run(req);
+  ASSERT_TRUE(resp.ok()) << resp.message;
+  EXPECT_EQ(resp.platform, "hier2x4");
+  ASSERT_FALSE(resp.allocation.empty());
+  // Scheduled against the registered 8-node platform, not the default.
+  for (int a : resp.allocation) EXPECT_LE(a, 8);
+}
+
+TEST(Session, UnknownPlatformIsBadRequest) {
+  const exp::Session session(lab());
+  auto req = sample_request();
+  req.platform = "andromeda";
+  const auto resp = session.run(req);
+  EXPECT_EQ(resp.status, exp::ServiceStatus::BadRequest);
+  EXPECT_NE(resp.message.find("andromeda"), std::string::npos)
+      << resp.message;
+}
+
+TEST(Session, PlatformIsPartOfTheScheduleCacheKey) {
+  const auto hier_lab = lab_for_spec(tiny_hier_spec());
+  exp::Session session(lab());
+  session.add_platform(*hier_lab);
+  auto req = sample_request();
+  ASSERT_TRUE(session.run(req).ok());
+  EXPECT_EQ(session.cache_misses(), 1u);
+  // Same DAG/model/algorithm on a different platform: a new cache cell.
+  req.platform = "hier2x4";
+  ASSERT_TRUE(session.run(req).ok());
+  EXPECT_EQ(session.cache_misses(), 2u);
+  EXPECT_EQ(session.cache_hits(), 0u);
+  ASSERT_TRUE(session.run(req).ok());
+  EXPECT_EQ(session.cache_hits(), 1u);
+}
+
+TEST(Session, OneRackPlatformIsBitIdenticalToStar) {
+  // The bit-identity bridge at the service layer: an 8-node star and its
+  // one-rack topology twin serve byte-identical responses.
+  auto star = platform::bayreuth32();
+  star.num_nodes = 8;
+  star.name = "star8";
+  const auto one_rack = platform::to_cluster(platform::star_topology(star));
+  const auto lab_star = lab_for_spec(star);
+  const auto lab_rack = lab_for_spec(one_rack);
+  const exp::Session a(*lab_star);
+  const exp::Session b(*lab_rack);
+  for (const auto mapping : {sched::MappingStrategy::EarliestStart,
+                             sched::MappingStrategy::RedistributionAware}) {
+    auto req = sample_request();
+    req.mapping = mapping;
+    EXPECT_EQ(exp::encode_response(a.run(req)),
+              exp::encode_response(b.run(req)))
+        << sched::mapping_name(mapping);
+  }
+}
+
+TEST(Service, ServesRegisteredPlatforms) {
+  const auto hier_lab = lab_for_spec(tiny_hier_spec());
+  exp::ServiceConfig cfg;
+  cfg.threads = 1;
+  exp::Service service(lab(), cfg);
+  service.add_platform(*hier_lab);
+
+  auto req = sample_request();
+  req.platform = "hier2x4";
+  const auto resp = service.call(req);
+  ASSERT_TRUE(resp.ok()) << resp.message;
+  EXPECT_EQ(resp.platform, "hier2x4");
+
+  // Byte-identical to a direct session with the same registry.
+  exp::Session session(lab());
+  session.add_platform(*hier_lab);
+  EXPECT_EQ(exp::encode_response(resp), exp::encode_response(session.run(req)));
+
+  // Unknown names come back in-band, not as transport errors.
+  req.platform = "nosuch";
+  EXPECT_EQ(service.call(req).status, exp::ServiceStatus::BadRequest);
 }
 
 // --- RpcServer loopback -------------------------------------------------

@@ -8,6 +8,7 @@
 
 #include "mtsched/core/error.hpp"
 #include "mtsched/dag/generator.hpp"
+#include "mtsched/platform/topology.hpp"
 #include "mtsched/sched/allocation.hpp"
 #include "mtsched/sched/mapping.hpp"
 
@@ -273,10 +274,23 @@ class VariedCost final : public SchedCost {
 /// The production mapper (ready queue, memoized redistribution curves,
 /// incremental availability ranking, bitmask overlap counting) must match
 /// it placement-for-placement, bit-for-bit.
+///
+/// For MappingStrategy::RackAware, `rack_of` gives each processor's rack
+/// and `sigma` the same-rack bonus weight — feed it the production
+/// mapper's own rack_of()/rack_sigma() values. Rack machinery engages
+/// under the mapper's exact condition (sigma > 0 and rack data covering
+/// all P processors); otherwise RackAware degenerates to
+/// RedistributionAware here as well.
 Schedule reference_list_map(const Dag& g, const std::vector<int>& alloc,
                             const SchedCost& cost, int P,
                             MappingStrategy strategy,
-                            double locality_weight = 1.0) {
+                            double locality_weight = 1.0,
+                            const std::vector<int>& rack_of = {},
+                            double sigma = 0.0) {
+  const bool redist_aware = strategy != MappingStrategy::EarliestStart;
+  const bool rack_aware = strategy == MappingStrategy::RackAware &&
+                          sigma > 0.0 &&
+                          static_cast<std::size_t>(P) <= rack_of.size();
   std::vector<double> tau(g.num_tasks());
   for (TaskId t = 0; t < g.num_tasks(); ++t) {
     tau[t] = cost.task_time(g.task(t), alloc[t]);
@@ -333,6 +347,21 @@ Schedule reference_list_map(const Dag& g, const std::vector<int>& alloc,
     if (!g.predecessors(chosen).empty()) {
       mean_redist /= static_cast<double>(g.predecessors(chosen).size());
     }
+    // Processors sharing a rack with any input holder (of any
+    // predecessor): the middle locality class of rack-aware mapping.
+    std::vector<bool> holder_rack(static_cast<std::size_t>(P), false);
+    if (rack_aware) {
+      for (int pr = 0; pr < P; ++pr) {
+        for (int h = 0; h < P && !holder_rack[static_cast<std::size_t>(pr)];
+             ++h) {
+          if (holds_input[static_cast<std::size_t>(h)] &&
+              rack_of[static_cast<std::size_t>(h)] ==
+                  rack_of[static_cast<std::size_t>(pr)]) {
+            holder_rack[static_cast<std::size_t>(pr)] = true;
+          }
+        }
+      }
+    }
 
     auto data_ready_on = [&](const std::vector<int>& set) {
       double ready = 0.0;
@@ -340,7 +369,7 @@ Schedule reference_list_map(const Dag& g, const std::vector<int>& alloc,
         const auto& qp = s.placements[q];
         const int p_q = static_cast<int>(qp.procs.size());
         double redist = cost.redist_time(g.task(q), p_q, p_t);
-        if (strategy == MappingStrategy::RedistributionAware) {
+        if (redist_aware) {
           int overlap = 0;
           for (int pr : set) {
             if (std::find(qp.procs.begin(), qp.procs.end(), pr) !=
@@ -348,10 +377,29 @@ Schedule reference_list_map(const Dag& g, const std::vector<int>& alloc,
               ++overlap;
             }
           }
+          // Set members sharing a rack with *this* predecessor's
+          // processors; holders count fully, same-rack non-holders at the
+          // sigma weight.
+          int in_rack = 0;
+          if (rack_aware) {
+            for (int pr : set) {
+              for (int qpr : qp.procs) {
+                if (rack_of[static_cast<std::size_t>(pr)] ==
+                    rack_of[static_cast<std::size_t>(qpr)]) {
+                  ++in_rack;
+                  break;
+                }
+              }
+            }
+          }
           const double overhead = cost.redist_overhead_time(p_q, p_t);
           const double payload = std::max(0.0, redist - overhead);
+          double covered = static_cast<double>(overlap);
+          if (rack_aware) {
+            covered += sigma * static_cast<double>(in_rack - overlap);
+          }
           const double remote_frac =
-              1.0 - static_cast<double>(overlap) / static_cast<double>(p_t);
+              1.0 - covered / static_cast<double>(p_t);
           redist = overhead + payload * remote_frac;
         }
         ready = std::max(ready, qp.est_finish + redist);
@@ -387,8 +435,10 @@ Schedule reference_list_map(const Dag& g, const std::vector<int>& alloc,
         auto score = [&](int pr) {
           const auto idx = static_cast<std::size_t>(pr);
           const double effective = std::max(proc_ready[idx], producers_done);
-          const double bonus =
-              holds_input[idx] ? locality_weight * mean_redist : 0.0;
+          const double full = locality_weight * mean_redist;
+          const double bonus = holds_input[idx] ? full
+                               : rack_aware && holder_rack[idx] ? sigma * full
+                                                                : 0.0;
           return effective - bonus;
         };
         const double sa = score(a);
@@ -465,7 +515,105 @@ TEST_P(MappingEquivalence, ReadyQueueMatchesNaiveReference) {
   }
 }
 
+TEST_P(MappingEquivalence, RackAwareMatchesNaiveReference) {
+  // 5 racks x 14 nodes covers all three cluster sizes: P = 70 exercises
+  // the stamp-based rack fallback (the bitmask path ends at P = 64). The
+  // reference is fed the production mapper's own rack table and sigma.
+  static const auto hier = mtsched::platform::to_cluster(
+      mtsched::platform::hierarchical_topology(5, 14, 4.0));
+  const ListMapper mapper(MappingStrategy::RackAware, hier);
+  ASSERT_GT(mapper.rack_sigma(), 0.0);
+  ASSERT_EQ(mapper.num_racks(), 5);
+  std::vector<int> racks(static_cast<std::size_t>(hier.num_nodes));
+  for (int pr = 0; pr < hier.num_nodes; ++pr) {
+    racks[static_cast<std::size_t>(pr)] = mapper.rack_of(pr);
+  }
+
+  DagGenParams p;
+  p.num_tasks = 30 + GetParam() * 19;
+  p.width = 2 + GetParam() % 5;
+  p.add_ratio = 0.4;
+  p.matrix_dim = 1000 + 250 * (GetParam() % 4);
+  p.seed = static_cast<std::uint64_t>(GetParam()) * 97 + 11;
+  const auto inst = generate_random_dag(p);
+  const VariedCost cost;
+  for (int P : {4, 32, 70}) {
+    const auto alloc = HcpaAllocator{}.allocate(inst.graph, cost, P);
+    const auto fast = mapper.map(inst.graph, alloc, cost, P);
+    const auto ref =
+        reference_list_map(inst.graph, alloc, cost, P,
+                           MappingStrategy::RackAware, 1.0, racks,
+                           mapper.rack_sigma());
+    expect_schedules_identical(fast, ref, "rack_aware");
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomDags, MappingEquivalence,
                          ::testing::Range(0, 8));
+
+TEST(MapperRackAware, DegeneratesToRedistAwareOnStarPlatforms) {
+  // Flat spec: sigma is 0, so RackAware must reproduce
+  // RedistributionAware bit-for-bit.
+  const ListMapper rack(MappingStrategy::RackAware,
+                        mtsched::platform::bayreuth32());
+  EXPECT_EQ(rack.rack_sigma(), 0.0);
+  EXPECT_EQ(rack.num_racks(), 1);
+  const ListMapper redist(MappingStrategy::RedistributionAware);
+  const VariedCost cost;
+  for (int param : {0, 3, 6}) {
+    DagGenParams p;
+    p.num_tasks = 30 + param * 19;
+    p.width = 2 + param % 5;
+    p.add_ratio = 0.4;
+    p.seed = static_cast<std::uint64_t>(param) * 97 + 11;
+    const auto inst = generate_random_dag(p);
+    const auto alloc = HcpaAllocator{}.allocate(inst.graph, cost, 32);
+    expect_schedules_identical(
+        rack.map(inst.graph, alloc, cost, 32),
+        redist.map(inst.graph, alloc, cost, 32), "flat degeneration");
+  }
+}
+
+TEST(MapperRackAware, RackLocalityChangesSchedules) {
+  // On an oversubscribed fabric the rack bonus must actually move some
+  // placement — otherwise the strategy is dead code.
+  static const auto hier = mtsched::platform::to_cluster(
+      mtsched::platform::hierarchical_topology(4, 8, 16.0));
+  const ListMapper rack(MappingStrategy::RackAware, hier);
+  const ListMapper redist(MappingStrategy::RedistributionAware);
+  const VariedCost cost;
+  bool differs = false;
+  for (int seed = 0; seed < 6 && !differs; ++seed) {
+    DagGenParams p;
+    p.num_tasks = 60;
+    p.width = 4;
+    p.add_ratio = 0.4;
+    p.seed = static_cast<std::uint64_t>(seed) * 101 + 7;
+    const auto inst = generate_random_dag(p);
+    const auto alloc =
+        HcpaAllocator{}.allocate(inst.graph, cost, hier.num_nodes);
+    const auto a = rack.map(inst.graph, alloc, cost, hier.num_nodes);
+    const auto b = redist.map(inst.graph, alloc, cost, hier.num_nodes);
+    for (std::size_t t = 0; t < a.placements.size() && !differs; ++t) {
+      differs = a.placements[t].procs != b.placements[t].procs;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(MapperRackAware, RackMetadataFollowsTopology) {
+  static const auto hier = mtsched::platform::to_cluster(
+      mtsched::platform::hierarchical_topology(2, 16, 4.0));
+  const ListMapper mapper(MappingStrategy::RackAware, hier);
+  EXPECT_EQ(mapper.num_racks(), 2);
+  EXPECT_GT(mapper.rack_sigma(), 0.0);
+  EXPECT_LT(mapper.rack_sigma(), 1.0);
+  EXPECT_EQ(mapper.rack_of(0), 0);
+  EXPECT_EQ(mapper.rack_of(15), 0);
+  EXPECT_EQ(mapper.rack_of(16), 1);
+  EXPECT_EQ(mapper.rack_of(31), 1);
+  EXPECT_THROW(mapper.rack_of(32), InvalidArgument);
+  EXPECT_THROW(mapper.rack_of(-1), InvalidArgument);
+}
 
 }  // namespace

@@ -32,6 +32,8 @@
 #include "mtsched/obs/metrics.hpp"
 #include "mtsched/obs/sink.hpp"
 #include "mtsched/obs/trace.hpp"
+#include "mtsched/platform/parser.hpp"
+#include "mtsched/platform/topology.hpp"
 #include "mtsched/sched/allocation.hpp"
 #include "mtsched/sched/mapping.hpp"
 #include "mtsched/sim/simulator.hpp"
@@ -68,6 +70,36 @@ void add_model_option(ArgParser& args) {
                "cost model: analytical, profile or empirical", "NAME");
 }
 
+void add_platform_option(ArgParser& args) {
+  args.add_str("platform", "",
+               "schedule on this platform: a built-in name (bayreuth32, "
+               "cray_xt4, hier1x32, hier2x16, hier4x8) or a platform file "
+               "(mtsched.platform.v1 or the legacy key = value format)",
+               "NAME|FILE");
+}
+
+void add_mapping_options(ArgParser& args) {
+  args.add_str("mapping", "earliest",
+               "list-mapping strategy: earliest, redist_aware or rack_aware",
+               "NAME");
+  args.add_flag("redist-aware", "deprecated alias for --mapping redist_aware");
+}
+
+sched::MappingStrategy mapping_from_args(const ArgParser& args) {
+  const auto name = args.str("mapping");
+  const auto strategy = sched::parse_mapping(name);
+  if (!strategy) {
+    throw core::InvalidArgument("unknown --mapping '" + name +
+                                "' (earliest | redist_aware | rack_aware)");
+  }
+  // The deprecated flag only applies when --mapping was left at its
+  // default; an explicit --mapping always wins.
+  if (args.flag("redist-aware") && !args.given("mapping")) {
+    return sched::MappingStrategy::RedistributionAware;
+  }
+  return *strategy;
+}
+
 std::string read_all(std::istream& is) {
   std::ostringstream os;
   os << is.rdbuf();
@@ -89,7 +121,44 @@ dag::Dag load_dag(const ArgParser& args) {
   return dag::from_text(load_dag_text(args));
 }
 
-std::unique_ptr<exp::Lab> make_lab(const ArgParser& args) {
+/// Resolves one --platform value: a built-in name first, a platform file
+/// otherwise. Legacy-format files parse with a deprecation note on stderr.
+platform::ClusterSpec resolve_platform(const std::string& value) {
+  if (auto spec = platform::named_platform(value)) return *std::move(spec);
+  std::ifstream f(value);
+  if (!f) {
+    std::string names;
+    for (const auto& n : platform::named_platform_names()) {
+      names += (names.empty() ? "" : ", ") + n;
+    }
+    throw core::InvalidArgument("unknown platform '" + value +
+                                "': not a built-in name (" + names +
+                                ") and not a readable file");
+  }
+  std::string note;
+  auto spec = platform::parse_platform(read_all(f), &note);
+  if (!note.empty()) std::cerr << "note: " << value << ": " << note << '\n';
+  return spec;
+}
+
+/// A lab on `spec`'s platform: the built-in cluster behaviour calibrated
+/// to the spec's node count and nominal speed. A 32-node spec keeps the
+/// default lab's profiling plan, so flat-equivalent platforms (hier1x32)
+/// reproduce default-lab outputs byte for byte.
+std::unique_ptr<exp::Lab> lab_for_spec(platform::ClusterSpec spec) {
+  exp::LabConfig cfg;
+  cfg.machine.num_nodes = spec.num_nodes;
+  cfg.machine.nominal_flops = spec.node.flops;
+  if (spec.num_nodes != 32) {
+    cfg.sample_plan = profiling::SamplePlan::scaled(spec.num_nodes);
+  }
+  auto model = std::make_unique<machine::JavaClusterModel>(cfg.machine);
+  return std::make_unique<exp::Lab>(std::move(model), std::move(spec), cfg);
+}
+
+/// The --machine half of lab construction: measurement tables when given,
+/// the built-in cluster behaviour otherwise.
+std::unique_ptr<exp::Lab> make_machine_lab(const ArgParser& args) {
   const auto path = args.str("machine");
   if (path.empty()) return std::make_unique<exp::Lab>();
   std::ifstream f(path);
@@ -104,6 +173,16 @@ std::unique_ptr<exp::Lab> make_lab(const ArgParser& args) {
   exp::LabConfig cfg;
   cfg.sample_plan = profiling::SamplePlan::scaled(model->max_procs());
   return std::make_unique<exp::Lab>(std::move(model), spec, cfg);
+}
+
+std::unique_ptr<exp::Lab> make_lab(const ArgParser& args) {
+  const auto value = args.str("platform");
+  if (value.empty()) return make_machine_lab(args);
+  if (!args.str("machine").empty()) {
+    throw core::InvalidArgument(
+        "--machine and --platform are mutually exclusive");
+  }
+  return lab_for_spec(resolve_platform(value));
 }
 
 /// Parses, honours --help, and reports errors uniformly. Returns true
@@ -243,12 +322,10 @@ sched::Schedule compute_schedule(const dag::Dag& g, const exp::Lab& lab,
   const auto algo = sched::make_allocator(args.str("algo"));
   const models::SchedCostAdapter cost(
       lab.model(models::ModelSpec::parse(args.str("model"))));
-  const auto strategy = args.flag("redist-aware")
-                            ? sched::MappingStrategy::RedistributionAware
-                            : sched::MappingStrategy::EarliestStart;
+  const auto strategy = mapping_from_args(args);
   const auto alloc = algo->allocate(g, cost, lab.spec().num_nodes);
-  return sched::ListMapper(strategy).map(g, alloc, cost,
-                                         lab.spec().num_nodes);
+  return sched::ListMapper(strategy, lab.spec())
+      .map(g, alloc, cost, lab.spec().num_nodes);
 }
 
 void add_schedule_options(ArgParser& args) {
@@ -256,10 +333,10 @@ void add_schedule_options(ArgParser& args) {
                "allocation algorithm: CPA, HCPA, MCPA, SEQ or MAXPAR",
                "NAME");
   add_model_option(args);
-  args.add_flag("redist-aware",
-                "use redistribution-aware mapping instead of earliest-start");
+  add_mapping_options(args);
   add_dag_input(args);
   add_machine_option(args);
+  add_platform_option(args);
 }
 
 int cmd_schedule(int argc, char** argv) {
@@ -294,7 +371,7 @@ exp::ScheduleRequest request_from_args(const ArgParser& args) {
   exp::ScheduleRequest req;
   req.dag_text = load_dag_text(args);
   req.algorithm = args.str("algo");
-  req.redist_aware = args.flag("redist-aware");
+  req.mapping = mapping_from_args(args);
   req.model = models::ModelSpec::parse(args.str("model"));
   req.exp_seed = args.uint64("exp-seed");
   return req;
@@ -385,9 +462,20 @@ int cmd_serve(int argc, char** argv) {
                "rejected with status 429");
   args.add_flag("metrics", "print the metrics registry on shutdown");
   add_machine_option(args);
+  args.add_str("platform", "",
+               "comma-separated extra platforms to register with the "
+               "session (built-in names or platform files); requests "
+               "select them by platform name",
+               "LIST");
   if (!parse_or_help(args, argc, argv)) return 0;
 
-  const auto lab = make_lab(args);
+  const auto lab = make_machine_lab(args);
+  // Every registered platform gets its own fully wired lab; they must
+  // outlive the service, so they are declared before it.
+  std::vector<std::unique_ptr<exp::Lab>> platform_labs;
+  for (const auto& entry : core::split_csv(args.str("platform"))) {
+    platform_labs.push_back(lab_for_spec(resolve_platform(entry)));
+  }
   obs::MetricsRegistry metrics;
   obs::BasicSink sink(nullptr, args.flag("metrics") ? &metrics : nullptr);
 
@@ -396,6 +484,7 @@ int cmd_serve(int argc, char** argv) {
   cfg.queue_limit = static_cast<std::size_t>(
       std::max<std::int64_t>(1, args.integer("queue-limit")));
   exp::Service service(*lab, cfg, &sink);
+  for (const auto& extra : platform_labs) service.add_platform(*extra);
 
   exp::RpcServerConfig server_cfg;
   server_cfg.port = static_cast<std::uint16_t>(args.integer("port"));
@@ -405,6 +494,14 @@ int cmd_serve(int argc, char** argv) {
             << " (" << service.threads() << " worker thread"
             << (service.threads() == 1 ? "" : "s") << ", queue limit "
             << service.queue_limit() << ")" << std::endl;
+  if (!platform_labs.empty()) {
+    std::cout << "mtsched serve: platforms: " << lab->spec().name
+              << " (default)";
+    for (const auto& extra : platform_labs) {
+      std::cout << ", " << extra->spec().name;
+    }
+    std::cout << std::endl;
+  }
   server.serve();
   const auto stats = server.stats();
   std::cout << "mtsched serve: shut down after " << stats.requests
@@ -428,8 +525,11 @@ int cmd_request(int argc, char** argv) {
                "allocation algorithm: CPA, HCPA, MCPA, SEQ or MAXPAR",
                "NAME");
   add_model_option(args);
-  args.add_flag("redist-aware",
-                "use redistribution-aware mapping instead of earliest-start");
+  add_mapping_options(args);
+  args.add_str("platform", "",
+               "schedule on this platform registered at the daemon "
+               "(empty = the daemon's default)",
+               "NAME");
   add_dag_input(args);
   args.add_uint64("exp-seed", 42, "experiment seed (cluster weather)");
   args.add_flag("ping", "probe daemon liveness instead of scheduling");
@@ -453,7 +553,9 @@ int cmd_request(int argc, char** argv) {
     std::cout << resp.message << '\n';
     return resp.ok() ? 0 : 1;
   }
-  const auto resp = client.call(request_from_args(args));
+  auto req = request_from_args(args);
+  req.platform = args.str("platform");
+  const auto resp = client.call(req);
   if (!resp.ok()) {
     throw core::Error(std::string(exp::status_name(resp.status)) + ": " +
                       resp.message);
@@ -471,6 +573,7 @@ int cmd_case_study(int argc, char** argv) {
   args.add_int("dim", 2000, "matrix dimension to report (2000 or 3000)");
   args.add_uint64("exp-seed", 42, "experiment seed (cluster weather)");
   add_machine_option(args);
+  add_platform_option(args);
   if (!parse_or_help(args, argc, argv)) return 0;
 
   const auto lab = make_lab(args);
@@ -517,9 +620,12 @@ int cmd_campaign(int argc, char** argv) {
   args.add_flag("quiet", "suppress the summary tables on stdout");
   add_obs_options(args);
   add_machine_option(args);
+  add_platform_option(args);
+  add_mapping_options(args);
   if (!parse_or_help(args, argc, argv)) return 0;
 
   const auto lab = make_lab(args);
+  const auto strategy = mapping_from_args(args);
 
   exp::CampaignSpec spec;
   for (const auto seed :
@@ -527,7 +633,8 @@ int cmd_campaign(int argc, char** argv) {
     spec.suites.push_back(exp::SuiteSpec::table1(seed));
   }
   for (const auto& name : core::split_csv(args.str("algos"))) {
-    spec.algorithms.push_back(exp::AlgoSpec::allocator(name));
+    spec.algorithms.push_back(
+        exp::AlgoSpec::allocator(name, strategy, lab->spec()));
   }
   spec.models = exp::lab_models(*lab, models::parse_kind_list(args.str("models")));
   spec.dims = core::split_csv_int(args.str("dims"), "--dims");
