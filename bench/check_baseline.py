@@ -49,8 +49,13 @@ def main(argv):
         cur_ips = current[name]
         floor = base_ips / slack
         verdict = "ok" if cur_ips >= floor else "REGRESSION"
+        # Slack actually consumed: baseline/current as a multiple of the
+        # allowed slack. 1.0x = exactly at baseline speed; values close
+        # to the slack mean the case is about to start failing.
+        consumed = base_ips / cur_ips if cur_ips > 0 else float("inf")
         print(f"{name}: {cur_ips:,.0f} items/s "
-              f"(baseline {base_ips:,.0f}, floor {floor:,.0f}) {verdict}")
+              f"(baseline {base_ips:,.0f}, floor {floor:,.0f}, "
+              f"consumed {consumed:.2f}x of {slack:g}x slack) {verdict}")
         if cur_ips < floor:
             failures.append(
                 f"{name}: {cur_ips:,.0f} items/s is below the {floor:,.0f} "

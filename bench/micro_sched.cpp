@@ -42,22 +42,27 @@ void BM_Allocation(benchmark::State& state, const std::string& algo_name) {
 // The n=2000 points are the scaling guard for the incremental CPA
 // skeleton (cached topological order, delta top/bottom level updates and
 // memoized task-time curves): they must stay ~linear in the number of
-// growth iterations rather than quadratic.
+// growth iterations rather than quadratic. The n=50000 tier additionally
+// guards the arena-backed workspaces and the running-area screen at
+// very-large-DAG scale.
 BENCHMARK_CAPTURE(BM_Allocation, cpa, std::string("CPA"))
     ->Arg(10)
     ->Arg(50)
     ->Arg(200)
-    ->Arg(2000);
+    ->Arg(2000)
+    ->Arg(50000);
 BENCHMARK_CAPTURE(BM_Allocation, hcpa, std::string("HCPA"))
     ->Arg(10)
     ->Arg(50)
     ->Arg(200)
-    ->Arg(2000);
+    ->Arg(2000)
+    ->Arg(50000);
 BENCHMARK_CAPTURE(BM_Allocation, mcpa, std::string("MCPA"))
     ->Arg(10)
     ->Arg(50)
     ->Arg(200)
-    ->Arg(2000);
+    ->Arg(2000)
+    ->Arg(50000);
 
 void BM_Mapping(benchmark::State& state, sched::MappingStrategy strategy) {
   const auto inst = big_dag(static_cast<int>(state.range(0)), 3);

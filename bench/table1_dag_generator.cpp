@@ -1,18 +1,37 @@
 // Table I: the random DAG generator's parameter space, plus structural
-// statistics of the 54 generated instances.
+// statistics of the 54 generated instances. `--tasks N` scales every
+// instance past the paper's 10 tasks (grid shape and seeds unchanged) to
+// exercise the generator and scheduler at 100k-task sizes.
+#include <cstring>
+
 #include "bench_util.hpp"
 #include "mtsched/core/table.hpp"
 #include "mtsched/stats/summary.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   const bench::Reporter report("table1_dag_generator");
   using namespace mtsched;
+
+  int num_tasks = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tasks") == 0 && i + 1 < argc) {
+      num_tasks = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--tasks N]\n";
+      return 2;
+    }
+  }
+  if (num_tasks < 1) {
+    std::cerr << "--tasks must be >= 1\n";
+    return 2;
+  }
+
   bench::banner("Table I — parameters used for generating random DAGs",
                 "Hunold/Casanova/Suter 2011, Table I (54 DAG instances)");
 
   core::TextTable params;
   params.set_header({"parameter", "values"});
-  params.add_row({"number of tasks", "10"});
+  params.add_row({"number of tasks", std::to_string(num_tasks)});
   params.add_row({"number of input matrices (DAG width)", "2, 4, 8"});
   params.add_row({"ratio addition / multiplication tasks", "0.5, 0.75, 1.0"});
   params.add_row({"matrix size (# elements per dimension)", "2000, 3000"});
@@ -20,7 +39,7 @@ int main() {
   params.add_row({"total DAG instances", "54"});
   std::cout << params.render() << '\n';
 
-  const auto suite = dag::generate_table1_suite();
+  const auto suite = dag::generate_table1_suite(bench::kSuiteSeed, num_tasks);
   std::cout << "generated " << suite.size() << " instances\n\n";
 
   core::TextTable stats;

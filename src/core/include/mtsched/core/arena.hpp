@@ -1,0 +1,180 @@
+// Monotonic bump allocator for per-run scratch memory.
+//
+// The scheduling and simulation hot paths allocate the same short-lived
+// workspaces (level arrays, memo tables, ready-queue state, solver CSR
+// views) once per run, thousands of times per campaign. An Arena turns
+// each of those into a pointer bump: allocation is amortized O(1) with no
+// per-object bookkeeping, nothing is freed individually, and rewinding to
+// a watermark (or reset()) reclaims everything at once while keeping the
+// underlying blocks for the next run — zero steady-state heap traffic.
+//
+// Three pieces cooperate:
+//   * Arena — chained geometrically-growing blocks with mark()/rewind().
+//   * ArenaVector<T> — a minimal trivially-copyable-element vector whose
+//     storage comes from an arena (growth abandons the old block until
+//     the next rewind; fine for scratch that is rewound per run).
+//   * ArenaScope + scratch_arena() — a thread-local arena plus an RAII
+//     watermark, the idiom the allocators/mappers use:
+//
+//       core::ArenaScope scratch(core::scratch_arena());
+//       auto levels = scratch.arena().make_span<double>(n);
+//
+//     Scopes must nest strictly: everything allocated after the mark is
+//     invalid once the scope unwinds. Thread-locality makes campaign
+//     workers race-free by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace mtsched::core {
+
+class Arena {
+ public:
+  /// `first_block_bytes` sizes the first block; later blocks double.
+  explicit Arena(std::size_t first_block_bytes = 1 << 16);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `bytes` bytes aligned to `align` (a power
+  /// of two <= alignof(std::max_align_t)).
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// A value-initialized span of `n` Ts. T must be trivially copyable and
+  /// trivially destructible — the arena never runs destructors.
+  template <typename T>
+  std::span<T> make_span(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_trivially_destructible_v<T>);
+    if (n == 0) return {};
+    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    std::memset(static_cast<void*>(p), 0, n * sizeof(T));
+    return {p, n};
+  }
+
+  /// Like make_span but filled with `fill` instead of zero bytes.
+  template <typename T>
+  std::span<T> make_span(std::size_t n, T fill) {
+    auto s = make_span<T>(n);
+    for (T& v : s) v = fill;
+    return s;
+  }
+
+  /// Watermark into the allocation stream. rewind(mark()) frees — in the
+  /// bump-pointer sense — everything allocated since.
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t used = 0;
+  };
+  Mark mark() const { return Mark{current_, used_}; }
+  void rewind(const Mark& m);
+
+  /// Rewinds to empty and, when the run spilled into multiple blocks,
+  /// coalesces them into one block of the total capacity so the next run
+  /// of the same shape is a single-block bump. Invalid while any scope /
+  /// outstanding mark is live.
+  void reset();
+
+  std::size_t bytes_in_use() const;
+  std::size_t bytes_reserved() const;
+  std::size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  ///< index of the block being bumped
+  std::size_t used_ = 0;     ///< bytes used in blocks_[current_]
+};
+
+/// Minimal push_back vector over arena storage. Elements must be
+/// trivially copyable (growth is a memcpy into a fresh arena span; the
+/// abandoned storage is reclaimed by the owning scope's rewind).
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                std::is_trivially_destructible_v<T>);
+
+ public:
+  explicit ArenaVector(Arena& arena) : arena_(&arena) {}
+
+  void reserve(std::size_t cap) {
+    if (cap <= cap_) return;
+    T* fresh = static_cast<T*>(arena_->allocate(cap * sizeof(T), alignof(T)));
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    cap_ = cap;
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) reserve(cap_ == 0 ? 8 : cap_ * 2);
+    data_[size_++] = v;
+  }
+
+  /// Grows or shrinks; new elements are value-initialized.
+  void resize(std::size_t n) {
+    if (n > cap_) reserve(n);
+    if (n > size_) std::memset(static_cast<void*>(data_ + size_), 0,
+                               (n - size_) * sizeof(T));
+    size_ = n;
+  }
+
+  void assign(std::size_t n, const T& fill) {
+    resize(n);
+    for (std::size_t i = 0; i < n; ++i) data_[i] = fill;
+  }
+
+  void clear() { size_ = 0; }
+  void pop_back() { --size_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  Arena* arena_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+/// RAII watermark over an arena: everything allocated inside the scope is
+/// reclaimed when it unwinds. Scopes must nest strictly.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  Arena& arena() { return arena_; }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+/// The calling thread's scratch arena. Campaign/service workers reuse it
+/// across jobs (capacity survives ArenaScope rewinds), so a warmed worker
+/// runs whole schedule pipelines without heap allocation.
+Arena& scratch_arena();
+
+}  // namespace mtsched::core

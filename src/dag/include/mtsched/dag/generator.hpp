@@ -51,11 +51,15 @@ GeneratedDag generate_random_dag(const DagGenParams& params);
 
 /// The paper's full Table I parameter grid: width in {2,4,8} x add_ratio in
 /// {0.5,0.75,1.0} x n in {2000,3000} x 3 samples = 54 DAGs. `base_seed`
-/// derives each instance's seed deterministically.
-std::vector<DagGenParams> table1_grid(std::uint64_t base_seed = 2011);
+/// derives each instance's seed deterministically. `num_tasks` scales every
+/// instance (the paper's value is 10; larger values keep the grid shape and
+/// seeds, only the per-DAG task count changes).
+std::vector<DagGenParams> table1_grid(std::uint64_t base_seed = 2011,
+                                      int num_tasks = 10);
 
 /// Convenience: generate the full 54-DAG suite of Table I.
-std::vector<GeneratedDag> generate_table1_suite(std::uint64_t base_seed = 2011);
+std::vector<GeneratedDag> generate_table1_suite(std::uint64_t base_seed = 2011,
+                                                int num_tasks = 10);
 
 /// Subset of a generated suite with the given matrix dimension (the paper
 /// reports n = 2000 and n = 3000 separately, 27 DAGs each).

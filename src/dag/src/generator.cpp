@@ -65,6 +65,13 @@ GeneratedDag generate_random_dag(const DagGenParams& params) {
 
   int generated = 0;
   int level = 0;
+  // Matrices produced on the previous level (first-operand candidates for
+  // non-entry tasks; keeps the graph connected level to level). Tracked
+  // across iterations: a level's outputs are exactly the pool suffix it
+  // appends, so carrying those indices forward yields the same ascending
+  // index list a full pool rescan would build — without the rescan, which
+  // made generation quadratic in the task count.
+  std::vector<std::size_t> prev_level;
   while (generated < params.num_tasks) {
     int level_tasks;
     if (level == 0) {
@@ -76,12 +83,6 @@ GeneratedDag generate_random_dag(const DagGenParams& params) {
       level_tasks = static_cast<int>(rng.uniform_int(1, hi));
     }
     level_tasks = std::min(level_tasks, params.num_tasks - generated);
-
-    // Matrices produced on the previous level (first-operand candidates for
-    // non-entry tasks; keeps the graph connected level to level).
-    std::vector<std::size_t> prev_level;
-    for (std::size_t i = 0; i < pool.size(); ++i)
-      if (pool[i].level == level - 1) prev_level.push_back(i);
 
     std::vector<MatRef> produced;
     for (int t = 0; t < level_tasks; ++t) {
@@ -108,7 +109,11 @@ GeneratedDag generate_random_dag(const DagGenParams& params) {
       produced.push_back(MatRef{id, level});
       ++generated;
     }
-    for (const auto& m : produced) pool.push_back(m);
+    prev_level.clear();
+    for (const auto& m : produced) {
+      prev_level.push_back(pool.size());
+      pool.push_back(m);
+    }
     ++level;
   }
 
@@ -116,7 +121,8 @@ GeneratedDag generate_random_dag(const DagGenParams& params) {
   return out;
 }
 
-std::vector<DagGenParams> table1_grid(std::uint64_t base_seed) {
+std::vector<DagGenParams> table1_grid(std::uint64_t base_seed, int num_tasks) {
+  MTSCHED_REQUIRE(num_tasks >= 1, "num_tasks must be >= 1");
   const int widths[] = {2, 4, 8};
   const double ratios[] = {0.5, 0.75, 1.0};
   const int dims[] = {2000, 3000};
@@ -129,7 +135,7 @@ std::vector<DagGenParams> table1_grid(std::uint64_t base_seed) {
       for (double r : ratios) {
         for (int s = 0; s < kSamples; ++s) {
           DagGenParams p;
-          p.num_tasks = 10;
+          p.num_tasks = num_tasks;
           p.width = v;
           p.add_ratio = r;
           p.matrix_dim = n;
@@ -143,9 +149,10 @@ std::vector<DagGenParams> table1_grid(std::uint64_t base_seed) {
   return grid;
 }
 
-std::vector<GeneratedDag> generate_table1_suite(std::uint64_t base_seed) {
+std::vector<GeneratedDag> generate_table1_suite(std::uint64_t base_seed,
+                                                int num_tasks) {
   std::vector<GeneratedDag> suite;
-  for (const auto& p : table1_grid(base_seed))
+  for (const auto& p : table1_grid(base_seed, num_tasks))
     suite.push_back(generate_random_dag(p));
   return suite;
 }

@@ -95,7 +95,9 @@ struct SuiteSpec {
   std::vector<dag::GeneratedDag> dags;
 
   /// The paper's 54-DAG Table I suite generated from `base_seed`.
-  static SuiteSpec table1(std::uint64_t base_seed = 2011);
+  /// `num_tasks` scales every instance (paper value 10); the grid shape
+  /// and per-instance seeds are unchanged.
+  static SuiteSpec table1(std::uint64_t base_seed = 2011, int num_tasks = 10);
 };
 
 /// The declarative sweep. Jobs expand in nesting order

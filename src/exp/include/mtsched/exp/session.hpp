@@ -33,6 +33,7 @@
 
 #include "mtsched/exp/lab.hpp"
 #include "mtsched/models/factory.hpp"
+#include "mtsched/sched/cost.hpp"
 #include "mtsched/sched/mapping.hpp"
 #include "mtsched/sched/schedule.hpp"
 #include "mtsched/sched/trace.hpp"
@@ -174,6 +175,20 @@ class Session {
   ScheduleResponse run(const ScheduleRequest& req,
                        RunArtifacts* artifacts = nullptr) const;
 
+  /// Serves a batch of requests sequentially on the calling thread.
+  /// Requests resolving to the same (platform, model) pair share one
+  /// sched::CostCurveTable, so the cost model resolves each distinct
+  /// (kernel, matrix_dim) curve once for the whole batch instead of once
+  /// per DAG — the fast path for simulating many DAGs cut from the same
+  /// few task shapes (Table-I-style suites, 100k-task sweeps). Responses
+  /// are bit-identical to serving each request through run(): the table
+  /// serves bit-identical values by the SchedCost purity contract, and
+  /// memo cells land in the same schedule cache under the same keys.
+  /// `artifacts`, when given, is resized to one entry per request.
+  std::vector<ScheduleResponse> run_batch(
+      const std::vector<ScheduleRequest>& reqs,
+      std::vector<RunArtifacts>* artifacts = nullptr) const;
+
   const Lab& lab() const { return lab_; }
 
   /// Cumulative schedule-memo cache statistics across all requests.
@@ -185,6 +200,12 @@ class Session {
   }
 
  private:
+  /// The pipeline behind run()/run_batch(). `shared_cost`, when non-null,
+  /// replaces the per-request cost adapter (run_batch passes the batch's
+  /// curve table; it must wrap the request's resolved model).
+  ScheduleResponse serve(const ScheduleRequest& req, RunArtifacts* artifacts,
+                         const sched::SchedCost* shared_cost) const;
+
   const Lab& lab_;
   /// Registered (name, lab) platforms; linear scan — registries hold a
   /// handful of entries and are read-only while serving.

@@ -100,8 +100,8 @@ AlgoSpec AlgoSpec::allocator(const std::string& name,
   return spec;
 }
 
-SuiteSpec SuiteSpec::table1(std::uint64_t base_seed) {
-  return SuiteSpec{base_seed, dag::generate_table1_suite(base_seed)};
+SuiteSpec SuiteSpec::table1(std::uint64_t base_seed, int num_tasks) {
+  return SuiteSpec{base_seed, dag::generate_table1_suite(base_seed, num_tasks)};
 }
 
 double RunRecord::sim_error_percent() const {

@@ -119,6 +119,63 @@ const Lab& Session::resolve_lab(const std::string& platform) const {
 
 ScheduleResponse Session::run(const ScheduleRequest& req,
                               RunArtifacts* artifacts) const {
+  return serve(req, artifacts, nullptr);
+}
+
+std::vector<ScheduleResponse> Session::run_batch(
+    const std::vector<ScheduleRequest>& reqs,
+    std::vector<RunArtifacts>* artifacts) const {
+  // One curve table per (platform lab, resolved model) pair seen in the
+  // batch; a handful of entries, so identity by linear scan. The adapter
+  // is heap-held because the table keeps a reference to it.
+  struct TableEntry {
+    const Lab* lab;
+    const models::CostModel* model;
+    std::unique_ptr<models::SchedCostAdapter> adapter;
+    std::unique_ptr<sched::CostCurveTable> table;
+  };
+  std::vector<TableEntry> tables;
+
+  if (artifacts != nullptr) artifacts->assign(reqs.size(), {});
+  std::vector<ScheduleResponse> out;
+  out.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    RunArtifacts* art = artifacts != nullptr ? &(*artifacts)[i] : nullptr;
+    const sched::SchedCost* shared = nullptr;
+    try {
+      const Lab& lab = resolve_lab(reqs[i].platform);
+      const models::CostModel& model = lab.model(reqs[i].model);
+      TableEntry* entry = nullptr;
+      for (auto& t : tables) {
+        if (t.lab == &lab && t.model == &model) {
+          entry = &t;
+          break;
+        }
+      }
+      if (entry == nullptr) {
+        TableEntry e;
+        e.lab = &lab;
+        e.model = &model;
+        e.adapter = std::make_unique<models::SchedCostAdapter>(model);
+        e.table = std::make_unique<sched::CostCurveTable>(
+            *e.adapter, lab.spec().num_nodes);
+        tables.push_back(std::move(e));
+        entry = &tables.back();
+      }
+      shared = entry->table.get();
+    } catch (...) {
+      // Resolution failed; serve() re-resolves and reports the error as
+      // this request's response without touching the rest of the batch.
+      shared = nullptr;
+    }
+    out.push_back(serve(reqs[i], art, shared));
+  }
+  return out;
+}
+
+ScheduleResponse Session::serve(const ScheduleRequest& req,
+                                RunArtifacts* artifacts,
+                                const sched::SchedCost* shared_cost) const {
   ScheduleResponse resp;
   resp.algorithm = req.algorithm;
   resp.exp_seed = req.exp_seed;
@@ -143,7 +200,9 @@ ScheduleResponse Session::run(const ScheduleRequest& req,
         key,
         [&]() {
           ScheduleMemo m;
-          const models::SchedCostAdapter cost(model);
+          const models::SchedCostAdapter local_cost(model);
+          const sched::SchedCost& cost =
+              shared_cost != nullptr ? *shared_cost : local_cost;
           const auto sizes = allocator->allocate(g, cost, P);
           m.schedule =
               sched::ListMapper(strategy, lab.spec()).map(g, sizes, cost, P);

@@ -15,6 +15,9 @@
 // missing (see obs::TraceProfile, which surfaces both).
 #pragma once
 
+#include <cstddef>
+#include <mutex>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -32,6 +35,52 @@ struct ChromeTraceOptions {
 /// Serializes a snapshot of `tracer` as {"traceEvents": [...]}.
 std::string to_chrome_json(const Tracer& tracer,
                            const ChromeTraceOptions& options = {});
+
+/// Incremental Chrome trace_event writer: the EventStream sink for
+/// Tracer::set_stream. Events are serialized straight to `os` as the
+/// tracer flushes them, so a trace of any length occupies only the ring
+/// buffer in memory. The document layout matches to_chrome_json — same
+/// header, same per-event encoding, same per-track ordinal
+/// normalization, same auto-close of still-open spans at finish() — so
+/// for a single-track tracer the streamed document is byte-identical to
+/// the batch export. (With several tracks, batches interleave in flush
+/// order rather than being grouped per track, and each track's
+/// thread_name metadata precedes its first event instead of the whole
+/// preamble; viewers accept both.)
+class ChromeStreamWriter : public EventStream {
+ public:
+  /// Writes the document header. `os` must outlive the writer.
+  explicit ChromeStreamWriter(std::ostream& os,
+                              ChromeTraceOptions options = {});
+  /// finish()es with no dropped-event count if not already finished.
+  ~ChromeStreamWriter() override;
+
+  void on_events(std::size_t tid, const std::string& track_name,
+                 std::span<const Event> events) override;
+
+  /// Auto-closes open spans, records `dropped_events` when non-zero
+  /// (mirroring the batch exporter) and terminates the document. Flush
+  /// the tracer first; later on_events batches are discarded.
+  void finish(std::size_t dropped_events = 0);
+
+ private:
+  struct OpenSpan {
+    const char* category;
+    std::string name;
+  };
+  struct TrackState {
+    bool meta_written = false;
+    std::size_t ordinal = 0;   ///< events written (normalized timestamps)
+    double last_ts_us = 0.0;   ///< wall-clock close time for open spans
+    std::vector<OpenSpan> open;
+  };
+
+  std::ostream& os_;
+  ChromeTraceOptions options_;
+  std::mutex mutex_;  ///< lanes flush concurrently; the document is one
+  std::vector<TrackState> tracks_;
+  bool finished_ = false;
+};
 
 /// One parsed trace event (metadata events are folded into track names).
 struct ChromeEvent {

@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -59,14 +60,29 @@ struct Event {
   Args args;
 };
 
+/// Sink for streamed trace events (see Tracer::set_stream). Batches are
+/// delivered in emission order per track; batches from different tracks
+/// may arrive interleaved and concurrently, so implementations serialize
+/// internally (ChromeStreamWriter does).
+class EventStream {
+ public:
+  virtual ~EventStream() = default;
+
+  /// One flushed batch from track `tid` (its dense creation index).
+  virtual void on_events(std::size_t tid, const std::string& track_name,
+                         std::span<const Event> events) = 0;
+};
+
 namespace detail {
 /// Per-track storage. Lives in the tracer's deque, so the address is
 /// stable for the tracer's lifetime and Track handles can point straight
 /// at it without going through the registry.
 struct Lane {
-  explicit Lane(std::string lane_name) : name(std::move(lane_name)) {}
+  Lane(std::string lane_name, std::size_t lane_tid)
+      : name(std::move(lane_name)), tid(lane_tid) {}
 
   std::string name;
+  std::size_t tid;
   mutable std::mutex mutex;
   std::vector<Event> events;
 };
@@ -123,6 +139,8 @@ class Span {
 class Tracer {
  public:
   Tracer();
+  /// Flushes any buffered events to the stream (when one is attached).
+  ~Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -148,6 +166,20 @@ class Tracer {
     return dropped_events_.load(std::memory_order_relaxed);
   }
 
+  /// Switches the tracer from capture to streaming: each track buffers at
+  /// most `ring_capacity` events and hands the full buffer to `stream`
+  /// before admitting more, so memory stays bounded at
+  /// tracks * ring_capacity no matter how long the run is. Flushed events
+  /// no longer count against the event cap — a capped tracer that
+  /// streams effectively never truncates. Attach before emission starts
+  /// and keep `stream` alive for the tracer's lifetime; pass nullptr to
+  /// detach. Call flush_stream() (or destroy the tracer) before
+  /// finalizing the sink so the tail of each buffer is delivered.
+  void set_stream(EventStream* stream, std::size_t ring_capacity = 4096);
+
+  /// Delivers every track's buffered tail to the attached stream.
+  void flush_stream();
+
   std::size_t num_tracks() const;
   std::size_t num_events() const;
 
@@ -170,6 +202,10 @@ class Tracer {
   /// cap is reached. Lock-free.
   bool admit();
 
+  /// Hands the lane's buffered events to the stream and clears the
+  /// buffer. Caller holds the lane mutex.
+  void flush_lane(detail::Lane& lane);
+
   using Clock = std::chrono::steady_clock;
   Clock::time_point epoch_;
   mutable std::mutex registry_mutex_;
@@ -178,6 +214,8 @@ class Tracer {
   std::atomic<std::size_t> stored_events_{0};
   std::atomic<std::size_t> dropped_events_{0};
   std::atomic<Counter*> dropped_counter_{nullptr};
+  std::atomic<EventStream*> stream_{nullptr};
+  std::atomic<std::size_t> ring_capacity_{0};
 };
 
 // --- ambient context ----------------------------------------------------

@@ -285,6 +285,17 @@ TraceProfile TraceProfile::from_chrome(const ChromeTrace& trace) {
 std::string render_profile(const TraceProfile& profile,
                            std::size_t max_spans) {
   std::ostringstream os;
+  // Data loss headlines the report: a truncated trace silently skews
+  // every total below, so the reader must see it before any number.
+  if (profile.dropped_events > 0) {
+    const std::size_t emitted = profile.total_events + profile.dropped_events;
+    os << "*** TRUNCATED TRACE: " << profile.dropped_events << " of "
+       << emitted
+       << " events were dropped by the tracer's event cap ***\n"
+       << "*** every count and duration below is a lower bound ***\n"
+       << "*** raise --trace-cap, or use --trace-stream to capture "
+          "unbounded runs in bounded memory ***\n\n";
+  }
   os << "trace: " << profile.total_events << " events on "
      << profile.tracks.size() << " tracks ("
      << profile.counter_events << " counters, " << profile.instant_events
@@ -299,11 +310,6 @@ std::string render_profile(const TraceProfile& profile,
   if (profile.incomplete_spans > 0) {
     os << "WARNING: " << profile.incomplete_spans
        << " span(s) auto-closed at snapshot time (marked incomplete)\n";
-  }
-  if (profile.dropped_events > 0) {
-    os << "WARNING: " << profile.dropped_events
-       << " event(s) dropped by the tracer's event cap — totals are "
-          "lower bounds\n";
   }
 
   if (!profile.categories.empty()) {

@@ -13,7 +13,7 @@ namespace {
 
 constexpr const char* kWhat = "chrome trace JSON";
 
-void write_event(std::ostringstream& os, const Event& e, std::size_t tid,
+void write_event(std::ostream& os, const Event& e, std::size_t tid,
                  double ts_us, bool incomplete = false) {
   os << "{\"ph\":\"" << static_cast<char>(e.phase) << "\",\"pid\":0,\"tid\":"
      << tid << ",\"ts\":" << core::fmt_roundtrip(ts_us) << ",\"cat\":\""
@@ -35,7 +35,85 @@ void write_event(std::ostringstream& os, const Event& e, std::size_t tid,
   os << '}';
 }
 
+void write_thread_name_meta(std::ostream& os, std::size_t tid,
+                            const std::string& name) {
+  os << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+     << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << json::escape(name)
+     << "\"}}";
+}
+
 }  // namespace
+
+ChromeStreamWriter::ChromeStreamWriter(std::ostream& os,
+                                       ChromeTraceOptions options)
+    : os_(os), options_(std::move(options)) {
+  os_ << "{\"traceEvents\":[\n";
+  os_ << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\""
+      << json::escape(options_.process_name) << "\"}}";
+}
+
+ChromeStreamWriter::~ChromeStreamWriter() { finish(); }
+
+void ChromeStreamWriter::on_events(std::size_t tid,
+                                   const std::string& track_name,
+                                   std::span<const Event> events) {
+  std::lock_guard lock(mutex_);
+  if (finished_) return;
+  if (tid >= tracks_.size()) tracks_.resize(tid + 1);
+  TrackState& t = tracks_[tid];
+  if (!t.meta_written) {
+    write_thread_name_meta(os_, tid, track_name);
+    t.meta_written = true;
+  }
+  for (const Event& e : events) {
+    // Mirror the batch exporter's open-span bookkeeping so finish() can
+    // close what the run left open.
+    if (e.phase == Event::Phase::Begin) {
+      t.open.push_back(OpenSpan{e.category, e.name});
+    } else if (e.phase == Event::Phase::End && !t.open.empty()) {
+      t.open.pop_back();
+    }
+    const double ts_us = options_.normalize_timestamps
+                             ? static_cast<double>(t.ordinal)
+                             : e.ts * 1e6;
+    ++t.ordinal;
+    t.last_ts_us = e.ts * 1e6;
+    os_ << ",\n";
+    write_event(os_, e, tid, ts_us);
+  }
+}
+
+void ChromeStreamWriter::finish(std::size_t dropped_events) {
+  std::lock_guard lock(mutex_);
+  if (finished_) return;
+  for (std::size_t tid = 0; tid < tracks_.size(); ++tid) {
+    TrackState& t = tracks_[tid];
+    while (!t.open.empty()) {
+      Event close;
+      close.phase = Event::Phase::End;
+      close.category = t.open.back().category;
+      close.name = t.open.back().name;
+      t.open.pop_back();
+      const double close_ts = options_.normalize_timestamps
+                                  ? static_cast<double>(t.ordinal++)
+                                  : t.last_ts_us;
+      os_ << ",\n";
+      write_event(os_, close, tid, close_ts, /*incomplete=*/true);
+    }
+  }
+  if (dropped_events > 0) {
+    Event dropped;
+    dropped.phase = Event::Phase::Counter;
+    dropped.category = "trace";
+    dropped.name = "trace.dropped_events";
+    dropped.value = static_cast<double>(dropped_events);
+    os_ << ",\n";
+    write_event(os_, dropped, 0, 0.0);
+  }
+  os_ << "\n]}\n";
+  finished_ = true;
+}
 
 std::string to_chrome_json(const Tracer& tracer,
                            const ChromeTraceOptions& options) {
@@ -46,9 +124,7 @@ std::string to_chrome_json(const Tracer& tracer,
         "\"args\":{\"name\":\""
      << json::escape(options.process_name) << "\"}}";
   for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
-    os << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
-       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
-       << json::escape(tracks[tid].name) << "\"}}";
+    write_thread_name_meta(os, tid, tracks[tid].name);
   }
   // Events grouped per track in creation order (viewers sort by ts); with
   // normalized timestamps this grouping is what makes the document stable.

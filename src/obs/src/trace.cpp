@@ -9,6 +9,11 @@ void Track::emit(Event e) const {
   e.ts = tracer_->now();
   std::lock_guard lock(lane_->mutex);
   lane_->events.push_back(std::move(e));
+  const std::size_t ring =
+      tracer_->ring_capacity_.load(std::memory_order_relaxed);
+  if (ring != 0 && lane_->events.size() >= ring) {
+    tracer_->flush_lane(*lane_);
+  }
 }
 
 void Track::begin(const char* category, std::string name, Args args) const {
@@ -51,7 +56,37 @@ void Track::counter(const char* category, std::string name,
   emit(std::move(e));
 }
 
-Tracer::Tracer() : epoch_(Clock::now()) { lanes_.emplace_back("main"); }
+Tracer::Tracer() : epoch_(Clock::now()) { lanes_.emplace_back("main", 0); }
+
+Tracer::~Tracer() {
+  if (stream_.load(std::memory_order_acquire) != nullptr) flush_stream();
+}
+
+void Tracer::set_stream(EventStream* stream, std::size_t ring_capacity) {
+  ring_capacity_.store(stream != nullptr ? ring_capacity : 0,
+                       std::memory_order_relaxed);
+  stream_.store(stream, std::memory_order_release);
+}
+
+void Tracer::flush_lane(detail::Lane& lane) {
+  EventStream* stream = stream_.load(std::memory_order_acquire);
+  if (stream == nullptr || lane.events.empty()) return;
+  stream->on_events(lane.tid, lane.name, lane.events);
+  // Streamed events leave the tracer, so they stop counting against the
+  // event cap (admit() only counts while a cap is set).
+  if (event_cap_.load(std::memory_order_relaxed) != 0) {
+    stored_events_.fetch_sub(lane.events.size(), std::memory_order_relaxed);
+  }
+  lane.events.clear();
+}
+
+void Tracer::flush_stream() {
+  std::lock_guard lock(registry_mutex_);
+  for (auto& lane : lanes_) {
+    std::lock_guard lane_lock(lane.mutex);
+    flush_lane(lane);
+  }
+}
 
 void Tracer::set_event_cap(std::size_t max_events, MetricsRegistry* metrics) {
   event_cap_.store(max_events, std::memory_order_relaxed);
@@ -78,7 +113,7 @@ Track Tracer::root() { return Track(this, &lanes_.front()); }
 
 Track Tracer::track(std::string name) {
   std::lock_guard lock(registry_mutex_);
-  lanes_.emplace_back(std::move(name));
+  lanes_.emplace_back(std::move(name), lanes_.size());
   return Track(this, &lanes_.back());
 }
 

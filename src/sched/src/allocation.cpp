@@ -6,6 +6,7 @@
 #include <limits>
 #include <span>
 
+#include "mtsched/core/arena.hpp"
 #include "mtsched/core/error.hpp"
 #include "mtsched/obs/trace.hpp"
 
@@ -15,10 +16,11 @@ namespace {
 
 constexpr double kEps = 1e-12;
 
-/// Per-task times under the current allocation.
-std::vector<double> task_times(const dag::Dag& g, const SchedCost& cost,
-                               const std::vector<int>& alloc) {
-  std::vector<double> tau(g.num_tasks());
+/// Per-task times under the current allocation (arena-scratch backed).
+std::span<double> task_times(const dag::Dag& g, const SchedCost& cost,
+                             const std::vector<int>& alloc,
+                             core::Arena& arena) {
+  auto tau = arena.make_span<double>(g.num_tasks());
   for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
     tau[t] = cost.task_time(g.task(t), alloc[t]);
     MTSCHED_INVARIANT(tau[t] > 0.0, "task time must be positive");
@@ -35,12 +37,13 @@ std::vector<double> task_times(const dag::Dag& g, const SchedCost& cost,
 /// to the scalar task_time by the SchedCost contract.
 class TaskTimeMemo {
  public:
-  TaskTimeMemo(const dag::Dag& g, const SchedCost& cost, int P)
+  TaskTimeMemo(const dag::Dag& g, const SchedCost& cost, int P,
+               core::Arena& arena)
       : g_(g),
         cost_(cost),
         stride_(static_cast<std::size_t>(P)),
-        memo_(g.num_tasks() * stride_),
-        filled_(g.num_tasks(), 0) {}
+        memo_(arena.make_span<double>(g.num_tasks() * stride_)),
+        filled_(arena.make_span<std::uint8_t>(g.num_tasks())) {}
 
   /// tau(t, p) for p in [1, P].
   double operator()(dag::TaskId t, int p) const {
@@ -61,8 +64,10 @@ class TaskTimeMemo {
   const dag::Dag& g_;
   const SchedCost& cost_;
   std::size_t stride_;
-  mutable std::vector<double> memo_;
-  mutable std::vector<std::uint8_t> filled_;
+  // Spans into the caller's arena scope; the shallow-const span lets the
+  // lazy row fill stay behind a const interface without `mutable`.
+  std::span<double> memo_;
+  std::span<std::uint8_t> filled_;
 };
 
 /// Top/bottom levels with zero edge weights (classic CPA uses computation
@@ -74,24 +79,23 @@ class TaskTimeMemo {
 /// bit-identical to recomputing from scratch.
 class LevelTracker {
  public:
-  explicit LevelTracker(const dag::Dag& g)
+  LevelTracker(const dag::Dag& g, core::Arena& arena)
       : order_(g.topology().order),
         pos_(g.topology().positions),
         pred_off_(g.topology().pred_offsets),
         pred_(g.topology().preds),
         succ_off_(g.topology().succ_offsets),
-        succ_(g.topology().succs) {
+        succ_(g.topology().succs),
+        top_(arena.make_span<double>(g.num_tasks())),
+        bottom_(arena.make_span<double>(g.num_tasks())),
+        dirty_(arena.make_span<std::uint8_t>(g.num_tasks())) {
     // The flat CSR adjacency and topological positions are the Dag's
     // cached ones — the relaxation loops below are the hot spot and must
     // not pay vector-of-vector indirection, but the arrays only depend
     // on the immutable structure, so every tracker shares them.
-    const std::size_t n = g.num_tasks();
-    top_.assign(n, 0.0);
-    bottom_.assign(n, 0.0);
-    dirty_.assign(n, 0);
   }
 
-  void rebuild(const std::vector<double>& tau) {
+  void rebuild(std::span<const double> tau) {
     std::fill(top_.begin(), top_.end(), 0.0);
     for (const dag::TaskId t : order_) {
       double nt = 0.0;
@@ -119,7 +123,7 @@ class LevelTracker {
   /// always at a higher position than its predecessor, so one directional
   /// sweep settles every affected task, and tasks whose recomputed level
   /// is unchanged stop the propagation.
-  void update(dag::TaskId changed, const std::vector<double>& tau) {
+  void update(dag::TaskId changed, std::span<const double> tau) {
     const std::size_t n = pos_.size();
     // Downstream: top levels of affected descendants.
     std::size_t lo = n, hi = 0;
@@ -189,10 +193,10 @@ class LevelTracker {
   const std::vector<dag::TaskId>& pred_;
   const std::vector<std::size_t>& succ_off_;
   const std::vector<dag::TaskId>& succ_;
-  std::vector<double> top_;     ///< longest path length ending before t
-  std::vector<double> bottom_;  ///< longest path length from t inclusive
+  std::span<double> top_;     ///< longest path length ending before t
+  std::span<double> bottom_;  ///< longest path length from t inclusive
   double t_cp_ = 0.0;
-  std::vector<std::uint8_t> dirty_;  ///< indexed by topological position
+  std::span<std::uint8_t> dirty_;  ///< indexed by topological position
 };
 
 double average_area(const dag::Dag& g, const SchedCost& cost,
@@ -210,36 +214,51 @@ using GrowGate = std::function<bool(dag::TaskId, int /*new_p*/)>;
 using OnGrow = std::function<void(dag::TaskId)>;
 
 std::vector<int> cpa_skeleton(const dag::Dag& g, int P,
-                              const TaskTimeMemo& tt, const GrowGate& may_grow,
+                              const TaskTimeMemo& tt, core::Arena& arena,
+                              const GrowGate& may_grow,
                               const OnGrow& on_grow = {}) {
   MTSCHED_REQUIRE(P >= 1, "cluster must have at least one processor");
   MTSCHED_REQUIRE(g.num_tasks() > 0, "cannot allocate an empty DAG");
   const std::size_t n = g.num_tasks();
   std::vector<int> alloc(n, 1);
-  std::vector<double> tau(n);
+  auto tau = arena.make_span<double>(n);
   for (dag::TaskId t = 0; t < n; ++t) {
     tau[t] = tt(t, 1);
     MTSCHED_INVARIANT(tau[t] > 0.0, "task time must be positive");
   }
-  LevelTracker lv(g);
+  LevelTracker lv(g, arena);
   lv.rebuild(tau);
   // Average-area terms alloc[t] * tau(t, alloc[t]); only the grown task's
   // term changes per iteration, but t_a is still the same ordered sum the
   // term-by-term recomputation produced.
-  std::vector<double> area_term(n);
+  auto area_term = arena.make_span<double>(n);
   for (dag::TaskId t = 0; t < n; ++t) {
     area_term[t] = static_cast<double>(alloc[t]) * tau[t];
   }
+  // Delta-maintained running total of the area terms. It only *screens*
+  // the work-bound test: the break decision itself always re-derives t_a
+  // from the exact left-to-right sum, but when t_cp clears the threshold
+  // by more than a 1e-6 relative margin — many orders of magnitude above
+  // the accumulated float divergence between the running total and the
+  // exact sum (~iterations * ulp) — the break provably cannot fire and
+  // the O(n) re-sum is skipped. Large DAGs spend almost every growth
+  // iteration far above the threshold, so the per-iteration cost drops
+  // to the candidate scan and the incremental level refresh.
+  double area_run = 0.0;
+  for (dag::TaskId t = 0; t < n; ++t) area_run += area_term[t];
 
   // Each iteration adds one processor to one task; the loop is bounded by
   // the total allocation head-room.
   const std::size_t max_iter = n * static_cast<std::size_t>(P);
   for (std::size_t iter = 0; iter < max_iter; ++iter) {
-    double area = 0.0;
-    for (dag::TaskId t = 0; t < n; ++t) area += area_term[t];
-    const double t_a = area / static_cast<double>(P);
     const double t_cp = lv.t_cp();
-    if (t_cp <= t_a + kEps) break;  // work-bound: stop growing
+    if (t_cp * static_cast<double>(P) <=
+        area_run * (1.0 + 1e-6) + static_cast<double>(P) * kEps) {
+      double area = 0.0;
+      for (dag::TaskId t = 0; t < n; ++t) area += area_term[t];
+      const double t_a = area / static_cast<double>(P);
+      if (t_cp <= t_a + kEps) break;  // work-bound: stop growing
+    }
 
     // Candidate: the critical-path task with the largest gain. As in the
     // original CPA, the gain may be small or even negative on bumpy cost
@@ -263,7 +282,9 @@ std::vector<int> cpa_skeleton(const dag::Dag& g, int P,
     if (best == dag::kInvalidTask) break;  // nothing can usefully grow
     alloc[best] += 1;
     tau[best] = tt(best, alloc[best]);
-    area_term[best] = static_cast<double>(alloc[best]) * tau[best];
+    const double new_term = static_cast<double>(alloc[best]) * tau[best];
+    area_run += new_term - area_term[best];
+    area_term[best] = new_term;
     lv.update(best, tau);
     if (on_grow) on_grow(best);
   }
@@ -276,8 +297,9 @@ CpaMetrics cpa_metrics(const dag::Dag& g, const SchedCost& cost,
                        const std::vector<int>& alloc, int P) {
   MTSCHED_REQUIRE(alloc.size() == g.num_tasks(),
                   "allocation vector size mismatch");
-  const auto tau = task_times(g, cost, alloc);
-  LevelTracker lv(g);
+  core::ArenaScope scratch(core::scratch_arena());
+  const auto tau = task_times(g, cost, alloc, scratch.arena());
+  LevelTracker lv(g, scratch.arena());
   lv.rebuild(tau);
   CpaMetrics m;
   m.t_cp = lv.t_cp();
@@ -291,8 +313,10 @@ std::vector<int> CpaAllocator::allocate(const dag::Dag& g,
                            "allocate:" + name(),
                            {{"tasks", std::to_string(g.num_tasks())},
                             {"P", std::to_string(P)}});
-  const TaskTimeMemo tt(g, cost, P);
-  return cpa_skeleton(g, P, tt, [](dag::TaskId, int) { return true; });
+  core::ArenaScope scratch(core::scratch_arena());
+  const TaskTimeMemo tt(g, cost, P, scratch.arena());
+  return cpa_skeleton(g, P, tt, scratch.arena(),
+                      [](dag::TaskId, int) { return true; });
 }
 
 HcpaAllocator::HcpaAllocator(double min_efficiency)
@@ -322,9 +346,10 @@ std::vector<int> HcpaAllocator::allocate(const dag::Dag& g,
   const int cap = std::max(
       1, static_cast<int>(std::ceil(static_cast<double>(P) /
                                     static_cast<double>(omega))));
-  const TaskTimeMemo tt(g, cost, P);
+  core::ArenaScope scratch(core::scratch_arena());
+  const TaskTimeMemo tt(g, cost, P, scratch.arena());
   const double min_eff = min_efficiency_;
-  return cpa_skeleton(g, P, tt, [&](dag::TaskId t, int np) {
+  return cpa_skeleton(g, P, tt, scratch.arena(), [&](dag::TaskId t, int np) {
     if (np > cap) return false;
     // Envelope check: growth stops only on *sustained* inefficiency. A
     // single inefficient point (e.g. a p = 8 cache outlier in a profiled
@@ -351,9 +376,10 @@ std::vector<int> McpaAllocator::allocate(const dag::Dag& g,
   for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
     ++level_total[static_cast<std::size_t>(level[t])];
   }
-  const TaskTimeMemo tt(g, cost, P);
+  core::ArenaScope scratch(core::scratch_arena());
+  const TaskTimeMemo tt(g, cost, P, scratch.arena());
   return cpa_skeleton(
-      g, P, tt,
+      g, P, tt, scratch.arena(),
       [&](dag::TaskId t, int) {
         return level_total[static_cast<std::size_t>(level[t])] < P;
       },

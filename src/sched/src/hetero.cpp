@@ -56,13 +56,14 @@ Schedule HeteroListMapper::map(const dag::Dag& g,
   }
 
   // Priorities: bottom levels with virtual-cluster times.
-  std::vector<double> tau(g.num_tasks());
+  core::ArenaScope scratch(core::scratch_arena());
+  auto tau = scratch.arena().make_span<double>(g.num_tasks());
   for (dag::TaskId t = 0; t < g.num_tasks(); ++t) {
     tau[t] = cost.task_time(g.task(t), virtual_alloc[t]);
   }
-  const auto bl = detail::bottom_levels(g, tau);
-  const auto priority = detail::priority_order(bl);
-  detail::ReadyQueue ready(g, priority);
+  const auto bl = detail::bottom_levels(g, tau, scratch.arena());
+  const auto priority = detail::priority_order(bl, scratch.arena());
+  detail::ReadyQueue ready(g, priority, scratch.arena());
   const detail::RedistMemo redist_memo(g, cost, P);
 
   Schedule s;

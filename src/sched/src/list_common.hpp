@@ -12,13 +12,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <numeric>
-#include <queue>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "mtsched/core/arena.hpp"
 #include "mtsched/core/error.hpp"
 #include "mtsched/dag/dag.hpp"
 #include "mtsched/sched/cost.hpp"
@@ -29,11 +30,13 @@ namespace mtsched::sched::detail {
 /// successors), evaluated over the Dag's cached topological order and CSR
 /// adjacency. Successors are folded in the same per-task order as
 /// Dag::successors(), so every max chain sees identical operands in
-/// identical order as the adjacency-list walk it replaces.
-inline std::vector<double> bottom_levels(const dag::Dag& g,
-                                         const std::vector<double>& tau) {
+/// identical order as the adjacency-list walk it replaces. The result
+/// lives in the caller's arena scope.
+inline std::span<double> bottom_levels(const dag::Dag& g,
+                                       std::span<const double> tau,
+                                       core::Arena& arena) {
   const auto topo = g.topology();
-  std::vector<double> bl(g.num_tasks(), 0.0);
+  auto bl = arena.make_span<double>(g.num_tasks());
   for (auto it = topo.order.rbegin(); it != topo.order.rend(); ++it) {
     const dag::TaskId t = *it;
     double b = tau[t];
@@ -48,10 +51,11 @@ inline std::vector<double> bottom_levels(const dag::Dag& g,
 
 /// List priorities: decreasing bottom level, ties by task id. The id
 /// tie-break makes the comparator a strict total order, so plain sort
-/// yields the unique stable ranking.
-inline std::vector<dag::TaskId> priority_order(
-    const std::vector<double>& bl) {
-  std::vector<dag::TaskId> order(bl.size());
+/// yields the unique stable ranking. The result lives in the caller's
+/// arena scope.
+inline std::span<const dag::TaskId> priority_order(
+    std::span<const double> bl, core::Arena& arena) {
+  auto order = arena.make_span<dag::TaskId>(bl.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](dag::TaskId a, dag::TaskId b) {
     if (bl[a] != bl[b]) return bl[a] > bl[b];
@@ -63,18 +67,23 @@ inline std::vector<dag::TaskId> priority_order(
 /// Indegree-tracked ready queue over a fixed priority list. pop() returns
 /// the first task in priority order whose predecessors have all been
 /// marked placed — the same selection as rescanning the list, without the
-/// rescan.
+/// rescan. All state is arena-backed; the heap is reserved to the task
+/// count up front so the queue never allocates after construction.
 class ReadyQueue {
  public:
-  ReadyQueue(const dag::Dag& g, const std::vector<dag::TaskId>& priority)
-      : topo_(g.topology()), priority_(priority) {
+  ReadyQueue(const dag::Dag& g, std::span<const dag::TaskId> priority,
+             core::Arena& arena)
+      : topo_(g.topology()),
+        priority_(priority),
+        rank_(arena.make_span<std::size_t>(priority.size())),
+        waiting_preds_(arena.make_span<std::size_t>(priority.size())),
+        heap_(arena) {
     const std::size_t n = priority.size();
-    rank_.resize(n);
+    heap_.reserve(n);
     for (std::size_t r = 0; r < n; ++r) rank_[priority[r]] = r;
-    waiting_preds_.resize(n);
     for (dag::TaskId t = 0; t < n; ++t) {
       waiting_preds_[t] = topo_.pred_offsets[t + 1] - topo_.pred_offsets[t];
-      if (waiting_preds_[t] == 0) heap_.push(rank_[t]);
+      if (waiting_preds_[t] == 0) push(rank_[t]);
     }
   }
 
@@ -83,8 +92,9 @@ class ReadyQueue {
   dag::TaskId pop() {
     MTSCHED_INVARIANT(!heap_.empty(),
                       "no ready task although tasks remain (cycle?)");
-    const dag::TaskId t = priority_[heap_.top()];
-    heap_.pop();
+    const dag::TaskId t = priority_[heap_[0]];
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
     return t;
   }
 
@@ -94,18 +104,23 @@ class ReadyQueue {
     for (std::size_t e = topo_.succ_offsets[t]; e < topo_.succ_offsets[t + 1];
          ++e) {
       const dag::TaskId s = topo_.succs[e];
-      if (--waiting_preds_[s] == 0) heap_.push(rank_[s]);
+      if (--waiting_preds_[s] == 0) push(rank_[s]);
     }
   }
 
  private:
+  void push(std::size_t rank) {
+    heap_.push_back(rank);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+
   dag::Dag::TopologyView topo_;
-  const std::vector<dag::TaskId>& priority_;
-  std::vector<std::size_t> rank_;
-  std::vector<std::size_t> waiting_preds_;
-  std::priority_queue<std::size_t, std::vector<std::size_t>,
-                      std::greater<>>
-      heap_;
+  std::span<const dag::TaskId> priority_;
+  std::span<std::size_t> rank_;
+  std::span<std::size_t> waiting_preds_;
+  // Min-heap over ranks (std::*_heap with greater<>), identical pop order
+  // to the std::priority_queue it replaces.
+  core::ArenaVector<std::size_t> heap_;
 };
 
 /// Memoized cost.redist_time values. A redistribution estimate may read

@@ -16,16 +16,27 @@
 // Completion callbacks run inside run()/step() and may submit further
 // activities; this is how schedule replay drives the simulation forward.
 //
-// Hot-path layout: activities live in a slot slab (`slab_` plus a free
-// list) and are iterated through `order_`, a vector of live slots kept in
-// ascending-id order (ids are monotonic, completions compact in place), so
-// a step is one cache-friendly pass with no node allocation. The pass
-// fuses clock advance, phase transitions, completion detection and the
-// next-event lookahead, and the max-min solve is skipped entirely on steps
-// where the working set's resource usage did not change (e.g. pure timer
-// expiries) — the previous rates are provably still exact. All of this is
-// bit-compatible with the naive scan-everything engine: event times,
-// rates, resource usage and emitted traces are identical.
+// Hot-path layout (structure-of-arrays): per-activity state lives in
+// parallel flat arrays split by phase class, not in an array of structs.
+//   * The latency class is kept sorted by remaining delay and consumed
+//     from the front: the per-step clock advance is one contiguous
+//     auto-vectorizable subtract over doubles, expiries are a prefix pop
+//     (sortedness is invariant under a uniform subtract — IEEE float
+//     subtraction of the same dt is weakly monotonic), and the next
+//     latency event is simply the front survivor. No per-element
+//     branching, no compaction scan.
+//   * The work class is a dense id-sorted set of parallel arrays
+//     (remaining work, rate, usage-list extent): the fused step pass
+//     streams them linearly, and the max-min solve consumes the usage
+//     lists as one CSR view (see maxmin.hpp).
+//   * Cold per-activity state (name, callback, usage lists) is slot-slab
+//     indexed and only touched at submit/transition/completion; usage
+//     lists are bump-allocated from the engine's per-run core::Arena, so
+//     a run performs no steady-state heap allocation.
+// Expiries, transitions and completions from the two classes are merged
+// back into ascending-id order before callbacks and trace emission, so
+// every observable sequence — event times, rates, resource usage, traces
+// — is bit-identical to the naive scan-everything engine.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "mtsched/core/arena.hpp"
 #include "mtsched/obs/metrics.hpp"
 #include "mtsched/obs/trace.hpp"
 #include "mtsched/simcore/maxmin.hpp"
@@ -85,7 +97,7 @@ class Engine {
   bool step();
 
   double now() const { return now_; }
-  std::size_t num_active() const { return order_.size(); }
+  std::size_t num_active() const { return live_; }
   std::uint64_t events_processed() const { return events_; }
 
   /// Instantaneous max-min rate of an active activity (for tests; infinite
@@ -100,24 +112,17 @@ class Engine {
   double utilization(ResourceId r) const;
 
  private:
-  struct Activity {
-    ActivityId id = 0;
-    std::string name;
-    std::vector<Use> uses;
-    double remaining_amount = 0.0;
-    double remaining_delay = 0.0;
-    double rate = 0.0;
-    bool in_delay = false;
-    CompletionFn on_complete;
-  };
-
   /// Reshare bookkeeping at the head of a step: emits the reshare
   /// trace/metric and, only when the working usage multiset actually
-  /// changed, re-solves the max-min rates and refreshes the work-phase
-  /// event lookahead.
+  /// changed, re-solves the max-min rates (over the CSR usage view of the
+  /// work class) and refreshes the work-phase event lookahead.
   void reshare();
-  void trace_state(const Activity& a, const char* state);
-  const Activity* find_active(ActivityId id) const;
+  /// Folds buffered latency-phase submissions into the sorted delay
+  /// calendar (backward merge; ties keep older activities first).
+  void merge_pending();
+  /// Drops the consumed prefix of the delay calendar (amortized O(1)).
+  void compact_delay();
+  void trace_state(std::uint32_t slot, const char* state);
 
   obs::Track trace_;
   obs::Counter* events_counter_ = nullptr;
@@ -129,13 +134,42 @@ class Engine {
   std::vector<double> usage_;
   std::vector<std::string> resource_names_;
 
-  // Activity storage: stable slots + free list; `order_` holds the live
-  // slots in ascending-id order (deterministic iteration, as the previous
-  // std::map-keyed engine had).
-  std::vector<Activity> slab_;
-  std::vector<std::uint32_t> free_slots_;
-  std::vector<std::uint32_t> order_;
+  /// Per-run bump arena backing the usage-list pool and the solver's CSR
+  /// build; rewound wholesale when the engine dies with its run.
+  core::Arena arena_;
 
+  // --- cold per-activity state, slot-slab indexed ------------------------
+  std::vector<ActivityId> slot_id_;
+  std::vector<std::string> slot_name_;
+  std::vector<CompletionFn> slot_cb_;
+  std::vector<std::uint32_t> slot_uses_off_;  ///< into use_res_/use_weight_
+  std::vector<std::uint32_t> slot_uses_len_;
+  std::vector<double> slot_amount_;  ///< remaining work while in latency phase
+  std::vector<std::uint32_t> free_slots_;
+
+  // Usage-list pool (append-only per run, arena-backed).
+  core::ArenaVector<std::uint32_t> use_res_{arena_};
+  core::ArenaVector<double> use_weight_{arena_};
+
+  // --- latency class: parallel arrays sorted by remaining delay ----------
+  std::vector<double> d_rem_;
+  std::vector<std::uint32_t> d_slot_;
+  std::size_t d_head_ = 0;  ///< consumed prefix (expired entries)
+
+  // Latency submissions buffered since the last step head; merged into the
+  // sorted calendar before the next clock advance.
+  std::vector<double> pend_rem_;
+  std::vector<std::uint32_t> pend_slot_;
+  std::vector<std::uint32_t> pend_perm_;  ///< merge-sort permutation scratch
+
+  // --- work class: parallel arrays in ascending-id order -----------------
+  std::vector<ActivityId> w_id_;
+  std::vector<double> w_rem_;
+  std::vector<double> w_rate_;
+  std::vector<std::uint32_t> w_slot_;
+  std::vector<std::uint32_t> w_len_;
+
+  std::size_t live_ = 0;         ///< total live activities (all classes)
   std::size_t num_working_ = 0;  ///< live activities past their delay phase
 
   /// The active set changed: reshare bookkeeping runs at the next step
@@ -147,20 +181,28 @@ class Engine {
   bool solve_dirty_ = false;
 
   // Event calendar: the earliest candidate event time-delta per class,
-  // maintained incrementally. delay/work minima are refreshed by the fused
-  // step pass (and the work minimum by reshare() after a solve);
-  // submit_min_ collects candidates of activities submitted since the last
-  // step head. dt = min of the three, bit-identical to a full scan.
+  // maintained incrementally. The delay minimum is the front survivor of
+  // the sorted latency class; the work minimum is refreshed by the fused
+  // step pass (and by reshare() after a solve); submit_min_ collects
+  // candidates of activities submitted since the last step head. dt = min
+  // of the three, bit-identical to a full scan.
   double delay_min_;
   double work_min_;
   double submit_min_;
 
   // Solve + step scratch (allocated once, reused every step).
   MaxMinSolver solver_;
-  std::vector<const std::vector<Use>*> solver_acts_;
-  std::vector<double> solver_rates_;
-  std::vector<std::uint32_t> working_slots_;
-  std::vector<std::uint32_t> completed_slots_;
+  core::ArenaVector<std::uint32_t> csr_off_{arena_};
+  core::ArenaVector<std::uint32_t> csr_res_{arena_};
+  core::ArenaVector<double> csr_w_{arena_};
+  core::ArenaVector<double> csr_rates_{arena_};
+  core::ArenaVector<std::uint32_t> csr_map_{arena_};  ///< CSR row → work index
+  std::vector<std::uint32_t> expired_;     ///< this step's latency expiries
+  std::vector<std::uint32_t> trans_slot_;  ///< expiries entering the work class
+  std::vector<double> trans_rem_;
+  std::vector<std::uint32_t> done_delay_;  ///< completions straight from delay
+  std::vector<std::uint32_t> done_work_;   ///< completions from the work pass
+  std::vector<std::uint32_t> completed_;   ///< merged, ascending id
   std::vector<CompletionFn> callbacks_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "mtsched/core/error.hpp"
 #include "mtsched/core/table.hpp"
@@ -26,9 +27,11 @@ Engine::Engine()
   }
 }
 
-void Engine::trace_state(const Activity& a, const char* state) {
+void Engine::trace_state(std::uint32_t slot, const char* state) {
   trace_.instant("simcore",
-                 a.name.empty() ? "activity#" + std::to_string(a.id) : a.name,
+                 slot_name_[slot].empty()
+                     ? "activity#" + std::to_string(slot_id_[slot])
+                     : slot_name_[slot],
                  {{"state", state}, {"vt", core::fmt_roundtrip(now_)}});
 }
 
@@ -65,44 +68,59 @@ ActivityId Engine::submit(std::vector<Use> uses, double amount, double delay,
     slot = free_slots_.back();
     free_slots_.pop_back();
   } else {
-    slot = static_cast<std::uint32_t>(slab_.size());
-    slab_.emplace_back();
+    slot = static_cast<std::uint32_t>(slot_id_.size());
+    slot_id_.emplace_back();
+    slot_name_.emplace_back();
+    slot_cb_.emplace_back();
+    slot_uses_off_.emplace_back();
+    slot_uses_len_.emplace_back();
+    slot_amount_.emplace_back();
   }
-  Activity& a = slab_[slot];
-  a.id = next_id_++;
-  a.name = std::move(name);
-  a.uses = std::move(uses);
-  a.remaining_amount = amount;
-  a.remaining_delay = delay;
-  a.in_delay = delay > 0.0;
-  a.rate = 0.0;
-  a.on_complete = std::move(on_complete);
-  order_.push_back(slot);  // ids are monotonic: order_ stays id-sorted
+  const ActivityId id = next_id_++;
+  slot_id_[slot] = id;
+  slot_name_[slot] = std::move(name);
+  slot_cb_[slot] = std::move(on_complete);
+  slot_uses_off_[slot] = static_cast<std::uint32_t>(use_res_.size());
+  slot_uses_len_[slot] = static_cast<std::uint32_t>(uses.size());
+  for (const auto& u : uses) {
+    use_res_.push_back(static_cast<std::uint32_t>(u.resource));
+    use_weight_.push_back(u.weight);
+  }
+  slot_amount_[slot] = amount;
+  ++live_;
   rates_dirty_ = true;
 
   // Event-calendar candidate, exactly what a full next-event scan would
   // contribute for this activity.
-  if (a.in_delay) {
-    submit_min_ = std::min(submit_min_, a.remaining_delay);
+  if (delay > 0.0) {
+    pend_rem_.push_back(delay);
+    pend_slot_.push_back(slot);
+    submit_min_ = std::min(submit_min_, delay);
   } else {
     ++num_working_;
-    if (a.uses.empty()) {
-      a.rate = kInf;  // what the solver reports for usage-free activities
+    w_id_.push_back(id);  // ids are monotonic: the work class stays sorted
+    w_slot_.push_back(slot);
+    w_rem_.push_back(amount);
+    w_len_.push_back(slot_uses_len_[slot]);
+    if (uses.empty()) {
+      w_rate_.push_back(kInf);  // what the solver reports for usage-free
       submit_min_ = 0.0;
-    } else if (a.remaining_amount <= kEps) {
+    } else if (amount <= kEps) {
+      w_rate_.push_back(0.0);
       solve_dirty_ = true;
       submit_min_ = 0.0;
     } else {
       // Finite candidate: produced by the solve scheduled right here.
+      w_rate_.push_back(0.0);
       solve_dirty_ = true;
     }
   }
 
   if (trace_) {
-    trace_state(a, "submitted");
-    trace_.counter("simcore", "active", static_cast<double>(order_.size()));
+    trace_state(slot, "submitted");
+    trace_.counter("simcore", "active", static_cast<double>(live_));
   }
-  return a.id;
+  return id;
 }
 
 ActivityId Engine::submit_timer(double duration, CompletionFn on_complete,
@@ -110,34 +128,94 @@ ActivityId Engine::submit_timer(double duration, CompletionFn on_complete,
   return submit({}, 0.0, duration, std::move(on_complete), std::move(name));
 }
 
+void Engine::compact_delay() {
+  if (d_head_ == 0) return;
+  d_rem_.erase(d_rem_.begin(), d_rem_.begin() + static_cast<std::ptrdiff_t>(d_head_));
+  d_slot_.erase(d_slot_.begin(),
+                d_slot_.begin() + static_cast<std::ptrdiff_t>(d_head_));
+  d_head_ = 0;
+}
+
+void Engine::merge_pending() {
+  compact_delay();
+  const std::size_t p = pend_rem_.size();
+  // Pending entries arrive in submission (= ascending-id) order; sorting
+  // the permutation by remaining delay with the index as tie-break keeps
+  // equal delays in id order, deterministically.
+  pend_perm_.resize(p);
+  std::iota(pend_perm_.begin(), pend_perm_.end(), 0u);
+  std::sort(pend_perm_.begin(), pend_perm_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return pend_rem_[a] != pend_rem_[b] ? pend_rem_[a] < pend_rem_[b]
+                                                  : a < b;
+            });
+  const std::size_t n = d_rem_.size();
+  d_rem_.resize(n + p);
+  d_slot_.resize(n + p);
+  // Backward merge; on equal remainders existing entries stay first.
+  std::size_t i = n;
+  std::size_t j = p;
+  std::size_t k = n + p;
+  while (j > 0) {
+    const std::uint32_t pj = pend_perm_[j - 1];
+    if (i > 0 && d_rem_[i - 1] > pend_rem_[pj]) {
+      --i;
+      --k;
+      d_rem_[k] = d_rem_[i];
+      d_slot_[k] = d_slot_[i];
+    } else {
+      --j;
+      --k;
+      d_rem_[k] = pend_rem_[pj];
+      d_slot_[k] = pend_slot_[pj];
+    }
+  }
+  pend_rem_.clear();
+  pend_slot_.clear();
+}
+
 void Engine::reshare() {
   if (solve_dirty_) {
-    solver_acts_.clear();
-    working_slots_.clear();
-    for (const std::uint32_t slot : order_) {
-      Activity& a = slab_[slot];
-      if (a.in_delay || a.uses.empty()) continue;
-      solver_acts_.push_back(&a.uses);
-      working_slots_.push_back(slot);
+    // Gather the working usage lists into one CSR view, in id order —
+    // the same activity sequence the AoS engine fed the solver.
+    csr_off_.clear();
+    csr_res_.clear();
+    csr_w_.clear();
+    csr_map_.clear();
+    csr_off_.push_back(0);
+    const std::size_t wn = w_id_.size();
+    for (std::size_t i = 0; i < wn; ++i) {
+      const std::uint32_t len = w_len_[i];
+      if (len == 0) continue;
+      const std::uint32_t off = slot_uses_off_[w_slot_[i]];
+      for (std::uint32_t k = 0; k < len; ++k) {
+        csr_res_.push_back(use_res_[off + k]);
+        csr_w_.push_back(use_weight_[off + k]);
+      }
+      csr_off_.push_back(static_cast<std::uint32_t>(csr_res_.size()));
+      csr_map_.push_back(static_cast<std::uint32_t>(i));
     }
-    if (!solver_acts_.empty()) {
-      solver_.solve(capacities_, solver_acts_, solver_rates_);
-      for (std::size_t i = 0; i < working_slots_.size(); ++i) {
-        slab_[working_slots_[i]].rate = solver_rates_[i];
+    if (!csr_map_.empty()) {
+      csr_rates_.resize(csr_map_.size());
+      solver_.solve(
+          std::span<const double>(capacities_),
+          UsesView{{csr_off_.data(), csr_off_.size()},
+                   {csr_res_.data(), csr_res_.size()},
+                   {csr_w_.data(), csr_w_.size()}},
+          std::span<double>(csr_rates_.data(), csr_rates_.size()));
+      for (std::size_t k = 0; k < csr_map_.size(); ++k) {
+        w_rate_[csr_map_[k]] = csr_rates_[k];
       }
     }
     solve_dirty_ = false;
     // Rates moved: refresh the work-phase event lookahead from scratch.
     work_min_ = kInf;
-    for (const std::uint32_t slot : order_) {
-      const Activity& a = slab_[slot];
-      if (a.in_delay) continue;
-      if (a.remaining_amount <= kEps || a.uses.empty() ||
-          std::isinf(a.rate)) {
+    for (std::size_t i = 0; i < wn; ++i) {
+      if (w_rem_[i] <= kEps || w_len_[i] == 0 || std::isinf(w_rate_[i])) {
         work_min_ = 0.0;  // completes immediately
       } else {
-        MTSCHED_INVARIANT(a.rate > 0.0, "working activity has zero rate");
-        work_min_ = std::min(work_min_, a.remaining_amount / a.rate);
+        MTSCHED_INVARIANT(w_rate_[i] > 0.0, "working activity has zero rate");
+        work_min_ = std::min(work_min_, w_rem_[i] / w_rate_[i]);
       }
     }
   }
@@ -151,91 +229,176 @@ void Engine::reshare() {
 }
 
 bool Engine::step() {
-  if (order_.empty()) return false;
+  if (live_ == 0) return false;
   if (rates_dirty_) reshare();
+  if (!pend_rem_.empty()) merge_pending();
   const double dt = std::min(std::min(delay_min_, work_min_), submit_min_);
   MTSCHED_INVARIANT(std::isfinite(dt), "no upcoming event among activities");
 
   now_ += dt;
-  delay_min_ = kInf;
-  work_min_ = kInf;
   submit_min_ = kInf;
-  completed_slots_.clear();
 
-  // One fused pass in id order: advance clocks, account resource
-  // consumption, apply phase transitions, detect completions, and gather
-  // next-event candidates for the classes whose rates cannot move.
-  std::size_t keep = 0;
-  for (const std::uint32_t slot : order_) {
-    Activity& a = slab_[slot];
-    if (a.in_delay) {
-      a.remaining_delay -= dt;
-      if (a.remaining_delay > kEps) {
-        delay_min_ = std::min(delay_min_, a.remaining_delay);
-        order_[keep++] = slot;
-        continue;
-      }
-      // Latency phase over: enter the work phase within this event batch.
-      a.in_delay = false;
-      a.remaining_delay = 0.0;
+  // Latency class: one contiguous subtract (auto-vectorizes). Sortedness
+  // is preserved — subtracting the same dt is weakly monotonic in IEEE
+  // arithmetic — so the expired entries are exactly the front prefix and
+  // the next latency event is the front survivor.
+  {
+    double* rem = d_rem_.data();
+    const std::size_t n = d_rem_.size();
+    for (std::size_t i = d_head_; i < n; ++i) rem[i] -= dt;
+  }
+  expired_.clear();
+  while (d_head_ < d_rem_.size() && d_rem_[d_head_] <= kEps) {
+    expired_.push_back(d_slot_[d_head_]);
+    ++d_head_;
+  }
+  delay_min_ = d_head_ < d_rem_.size() ? d_rem_[d_head_] : kInf;
+  if (d_head_ >= 64 && d_head_ * 2 >= d_rem_.size()) compact_delay();
+
+  // Latency phase over: enter the work phase within this event batch.
+  // Transitions are applied in ascending-id order — the order the fused
+  // AoS pass encountered them — so trace emission and flag updates match.
+  done_delay_.clear();
+  trans_slot_.clear();
+  trans_rem_.clear();
+  if (!expired_.empty()) {
+    std::sort(expired_.begin(), expired_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return slot_id_[a] < slot_id_[b];
+              });
+    for (const std::uint32_t slot : expired_) {
       ++num_working_;
       rates_dirty_ = true;
-      if (a.uses.empty()) {
-        a.rate = kInf;  // what the solver reports for usage-free activities
-      } else {
+      if (slot_uses_len_[slot] != 0) {
         solve_dirty_ = true;  // joins the working usage multiset
       }
-      if (trace_) trace_state(a, "work");
-      if (a.remaining_amount <= kEps || a.uses.empty()) {
-        completed_slots_.push_back(slot);
+      if (trace_) trace_state(slot, "work");
+      if (slot_amount_[slot] <= kEps || slot_uses_len_[slot] == 0) {
+        done_delay_.push_back(slot);
       } else {
         // Its event candidate comes from the solve solve_dirty_ scheduled.
-        order_[keep++] = slot;
-      }
-      continue;
-    }
-    // Work phase: advance and account resource consumption.
-    if (!a.uses.empty() && !std::isinf(a.rate)) {
-      a.remaining_amount -= a.rate * dt;
-      for (const auto& u : a.uses) {
-        usage_[u.resource] += u.weight * a.rate * dt;
+        trans_slot_.push_back(slot);
+        trans_rem_.push_back(slot_amount_[slot]);
       }
     }
-    if (a.remaining_amount <= kEps || a.uses.empty() || std::isinf(a.rate)) {
-      completed_slots_.push_back(slot);
-      continue;
-    }
-    MTSCHED_INVARIANT(a.rate > 0.0, "working activity has zero rate");
-    work_min_ = std::min(work_min_, a.remaining_amount / a.rate);
-    order_[keep++] = slot;
   }
-  order_.resize(keep);
 
-  if (!completed_slots_.empty()) {
+  // Work pass in id order: advance work, account resource consumption,
+  // detect completions, refresh the work-phase event lookahead.
+  work_min_ = kInf;
+  done_work_.clear();
+  {
+    const std::size_t wn = w_id_.size();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < wn; ++i) {
+      const std::uint32_t len = w_len_[i];
+      const double rate = w_rate_[i];
+      if (len != 0 && !std::isinf(rate)) {
+        w_rem_[i] -= rate * dt;
+        const std::uint32_t off = slot_uses_off_[w_slot_[i]];
+        for (std::uint32_t k = 0; k < len; ++k) {
+          usage_[use_res_[off + k]] += use_weight_[off + k] * rate * dt;
+        }
+      }
+      if (w_rem_[i] <= kEps || len == 0 || std::isinf(rate)) {
+        done_work_.push_back(w_slot_[i]);
+        continue;
+      }
+      MTSCHED_INVARIANT(rate > 0.0, "working activity has zero rate");
+      work_min_ = std::min(work_min_, w_rem_[i] / rate);
+      if (keep != i) {
+        w_id_[keep] = w_id_[i];
+        w_rem_[keep] = w_rem_[i];
+        w_rate_[keep] = w_rate_[i];
+        w_slot_[keep] = w_slot_[i];
+        w_len_[keep] = w_len_[i];
+      }
+      ++keep;
+    }
+    w_id_.resize(keep);
+    w_rem_.resize(keep);
+    w_rate_.resize(keep);
+    w_slot_.resize(keep);
+    w_len_.resize(keep);
+  }
+
+  // Surviving transitions join the work class *after* the work pass (they
+  // do no work in the step they leave latency), merged by id.
+  if (!trans_slot_.empty()) {
+    const std::size_t wn = w_id_.size();
+    const std::size_t tn = trans_slot_.size();
+    w_id_.resize(wn + tn);
+    w_rem_.resize(wn + tn);
+    w_rate_.resize(wn + tn);
+    w_slot_.resize(wn + tn);
+    w_len_.resize(wn + tn);
+    std::size_t i = wn;
+    std::size_t j = tn;
+    std::size_t k = wn + tn;
+    while (j > 0) {
+      const std::uint32_t slot = trans_slot_[j - 1];
+      const ActivityId tid = slot_id_[slot];
+      if (i > 0 && w_id_[i - 1] > tid) {
+        --i;
+        --k;
+        w_id_[k] = w_id_[i];
+        w_rem_[k] = w_rem_[i];
+        w_rate_[k] = w_rate_[i];
+        w_slot_[k] = w_slot_[i];
+        w_len_[k] = w_len_[i];
+      } else {
+        --j;
+        --k;
+        w_id_[k] = tid;
+        w_rem_[k] = trans_rem_[j];
+        w_rate_[k] = 0.0;
+        w_slot_[k] = slot;
+        w_len_[k] = slot_uses_len_[slot];
+      }
+    }
+  }
+
+  // Merge this step's completions from both classes back into ascending-id
+  // order — the order the fused AoS pass collected them in.
+  completed_.clear();
+  {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < done_delay_.size() && j < done_work_.size()) {
+      if (slot_id_[done_delay_[i]] < slot_id_[done_work_[j]]) {
+        completed_.push_back(done_delay_[i++]);
+      } else {
+        completed_.push_back(done_work_[j++]);
+      }
+    }
+    while (i < done_delay_.size()) completed_.push_back(done_delay_[i++]);
+    while (j < done_work_.size()) completed_.push_back(done_work_[j++]);
+  }
+
+  if (!completed_.empty()) {
     // Detach completions before invoking callbacks so callbacks can
     // submit. The callback buffer round-trips through a local so a
     // re-entrant run() inside a callback stays safe.
     std::vector<CompletionFn> callbacks = std::move(callbacks_);
     callbacks.clear();
-    callbacks.reserve(completed_slots_.size());
-    for (const std::uint32_t slot : completed_slots_) {
-      Activity& a = slab_[slot];
-      if (trace_) trace_state(a, "done");
-      callbacks.push_back(std::move(a.on_complete));
+    callbacks.reserve(completed_.size());
+    for (const std::uint32_t slot : completed_) {
+      if (trace_) trace_state(slot, "done");
+      callbacks.push_back(std::move(slot_cb_[slot]));
       // Leaving the working set with a non-empty usage vector changes the
       // solve inputs; pure timers expire without disturbing the rates.
-      if (!a.uses.empty()) solve_dirty_ = true;
-      a = Activity{};  // release name/uses storage
+      if (slot_uses_len_[slot] != 0) solve_dirty_ = true;
+      slot_cb_[slot] = nullptr;
+      slot_name_[slot] = std::string();  // release name storage
       free_slots_.push_back(slot);
       --num_working_;
+      --live_;
       rates_dirty_ = true;
       ++events_;
     }
-    if (events_counter_ != nullptr) {
-      events_counter_->add(completed_slots_.size());
-    }
+    if (events_counter_ != nullptr) events_counter_->add(completed_.size());
     if (trace_) {
-      trace_.counter("simcore", "active", static_cast<double>(order_.size()));
+      trace_.counter("simcore", "active", static_cast<double>(live_));
     }
     for (auto& cb : callbacks) {
       if (cb) cb(now_);
@@ -263,19 +426,33 @@ double Engine::utilization(ResourceId r) const {
   return usage_[r] / (capacities_[r] * now_);
 }
 
-const Engine::Activity* Engine::find_active(ActivityId id) const {
-  const auto it = std::lower_bound(
-      order_.begin(), order_.end(), id,
-      [this](std::uint32_t slot, ActivityId v) { return slab_[slot].id < v; });
-  if (it == order_.end() || slab_[*it].id != id) return nullptr;
-  return &slab_[*it];
-}
-
 double Engine::current_rate(ActivityId id) const {
-  const Activity* a = find_active(id);
-  MTSCHED_REQUIRE(a != nullptr, "activity is not active");
+  bool in_latency = false;
+  bool found = false;
+  std::size_t work_idx = 0;
+  for (std::size_t i = 0; i < pend_slot_.size() && !found; ++i) {
+    if (slot_id_[pend_slot_[i]] == id) {
+      in_latency = true;
+      found = true;
+    }
+  }
+  for (std::size_t i = d_head_; i < d_slot_.size() && !found; ++i) {
+    if (slot_id_[d_slot_[i]] == id) {
+      in_latency = true;
+      found = true;
+    }
+  }
+  if (!found) {
+    const auto it = std::lower_bound(w_id_.begin(), w_id_.end(), id);
+    if (it != w_id_.end() && *it == id) {
+      work_idx = static_cast<std::size_t>(it - w_id_.begin());
+      found = true;
+    }
+  }
+  MTSCHED_REQUIRE(found, "activity is not active");
   MTSCHED_REQUIRE(!rates_dirty_, "rates not computed yet; call step() first");
-  return a->in_delay ? 0.0 : (a->uses.empty() ? kInf : a->rate);
+  if (in_latency) return 0.0;
+  return w_len_[work_idx] == 0 ? kInf : w_rate_[work_idx];
 }
 
 }  // namespace mtsched::simcore

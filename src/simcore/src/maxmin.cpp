@@ -12,13 +12,17 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
-void MaxMinSolver::solve(const std::vector<double>& capacities,
-                         const std::vector<const std::vector<Use>*>& activities,
-                         std::vector<double>& rates) {
+void MaxMinSolver::solve(std::span<const double> capacities,
+                         const UsesView& uses, std::span<double> rates) {
   const std::size_t num_res = capacities.size();
-  const std::size_t num_act = activities.size();
+  const std::size_t num_act = uses.num_activities();
+  MTSCHED_INVARIANT(rates.size() == num_act, "rates span mis-sized");
 
-  rates.assign(num_act, kInf);
+  const std::uint32_t* off = uses.offsets.data();
+  const std::uint32_t* res = uses.resource.data();
+  const double* wgt = uses.weight.data();
+
+  for (std::size_t i = 0; i < num_act; ++i) rates[i] = kInf;
   free_cap_.assign(capacities.begin(), capacities.end());
   // load_ and binding_ are all-zero between solves (each round resets
   // exactly the entries it touched), so only a resize is needed here.
@@ -28,7 +32,7 @@ void MaxMinSolver::solve(const std::vector<double>& capacities,
   }
   unfrozen_.clear();
   for (std::size_t i = 0; i < num_act; ++i) {
-    if (!activities[i]->empty()) unfrozen_.push_back(i);
+    if (off[i + 1] > off[i]) unfrozen_.push_back(i);
   }
 
   while (!unfrozen_.empty()) {
@@ -37,9 +41,9 @@ void MaxMinSolver::solve(const std::vector<double>& capacities,
     // only unfrozen activities and remembering which resources got load.
     touched_.clear();
     for (const std::size_t i : unfrozen_) {
-      for (const auto& u : *activities[i]) {
-        if (load_[u.resource] == 0.0) touched_.push_back(u.resource);
-        load_[u.resource] += u.weight;
+      for (std::uint32_t k = off[i]; k < off[i + 1]; ++k) {
+        if (load_[res[k]] == 0.0) touched_.push_back(res[k]);
+        load_[res[k]] += wgt[k];
       }
     }
     // The binding resource gives the smallest uniform rate.
@@ -60,8 +64,8 @@ void MaxMinSolver::solve(const std::vector<double>& capacities,
     std::size_t keep = 0;
     for (const std::size_t i : unfrozen_) {
       bool hit = false;
-      for (const auto& u : *activities[i]) {
-        if (binding_[u.resource] != 0) {
+      for (std::uint32_t k = off[i]; k < off[i + 1]; ++k) {
+        if (binding_[res[k]] != 0) {
           hit = true;
           break;
         }
@@ -69,8 +73,8 @@ void MaxMinSolver::solve(const std::vector<double>& capacities,
       if (hit) {
         rates[i] = rho;
         froze_any = true;
-        for (const auto& u : *activities[i]) {
-          free_cap_[u.resource] -= u.weight * rho;
+        for (std::uint32_t k = off[i]; k < off[i + 1]; ++k) {
+          free_cap_[res[k]] -= wgt[k] * rho;
         }
       } else {
         unfrozen_[keep++] = i;
@@ -84,6 +88,28 @@ void MaxMinSolver::solve(const std::vector<double>& capacities,
       binding_[r] = 0;
     }
   }
+}
+
+void MaxMinSolver::solve(const std::vector<double>& capacities,
+                         const std::vector<const std::vector<Use>*>& activities,
+                         std::vector<double>& rates) {
+  const std::size_t num_act = activities.size();
+  pack_off_.clear();
+  pack_res_.clear();
+  pack_w_.clear();
+  pack_off_.reserve(num_act + 1);
+  pack_off_.push_back(0);
+  for (const auto* uses : activities) {
+    for (const auto& u : *uses) {
+      pack_res_.push_back(static_cast<std::uint32_t>(u.resource));
+      pack_w_.push_back(u.weight);
+    }
+    pack_off_.push_back(static_cast<std::uint32_t>(pack_res_.size()));
+  }
+  rates.resize(num_act);
+  solve(std::span<const double>(capacities),
+        UsesView{pack_off_, pack_res_, pack_w_},
+        std::span<double>(rates));
 }
 
 std::vector<double> solve_max_min(const MaxMinProblem& problem) {

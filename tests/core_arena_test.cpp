@@ -1,0 +1,174 @@
+// Unit tests for mtsched::core's per-run arena: bump allocation,
+// mark/rewind reuse, reset coalescing, ArenaVector growth and the
+// thread-local scratch arena.
+#include "mtsched/core/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace mtsched::core;
+
+TEST(Arena, MakeSpanZeroFills) {
+  Arena arena;
+  const auto s = arena.make_span<double>(64);
+  ASSERT_EQ(s.size(), 64u);
+  for (const double v : s) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Arena, MakeSpanWithFill) {
+  Arena arena;
+  const auto s = arena.make_span<int>(16, 7);
+  for (const int v : s) EXPECT_EQ(v, 7);
+}
+
+TEST(Arena, EmptySpanAllocatesNothing) {
+  Arena arena;
+  const std::size_t before = arena.bytes_in_use();
+  const auto s = arena.make_span<double>(0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(arena.bytes_in_use(), before);
+}
+
+TEST(Arena, AllocationsAreAligned) {
+  Arena arena;
+  (void)arena.allocate(1, 1);  // misalign the bump pointer
+  void* p = arena.allocate(sizeof(double), alignof(double));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(double), 0u);
+}
+
+TEST(Arena, RewindReclaimsAndReusesStorage) {
+  Arena arena(1024);
+  const Arena::Mark m = arena.mark();
+  const auto a = arena.make_span<double>(32);
+  const std::size_t used = arena.bytes_in_use();
+  EXPECT_GE(used, 32 * sizeof(double));
+  arena.rewind(m);
+  EXPECT_LT(arena.bytes_in_use(), used);
+  // The next allocation of the same shape lands on the same storage:
+  // rewinding is a pointer move, not a free.
+  const auto b = arena.make_span<double>(32);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(Arena, MarksNestStrictly) {
+  Arena arena(1024);
+  const auto outer = arena.mark();
+  (void)arena.make_span<int>(8);
+  const auto inner = arena.mark();
+  (void)arena.make_span<int>(8);
+  arena.rewind(inner);
+  (void)arena.make_span<int>(4);
+  arena.rewind(outer);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+}
+
+TEST(Arena, GrowsAcrossBlocksAndResetCoalesces) {
+  Arena arena(1024);  // clamped to the 4 KiB minimum block
+  for (int i = 0; i < 8; ++i) (void)arena.make_span<double>(1024);
+  EXPECT_GT(arena.num_blocks(), 1u);
+  const std::size_t reserved = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.num_blocks(), 1u);
+  // The coalesced block holds at least the spilled total, so a rerun of
+  // the same shape bumps through one block.
+  EXPECT_GE(arena.bytes_reserved(), reserved);
+  for (int i = 0; i < 8; ++i) (void)arena.make_span<double>(1024);
+  EXPECT_EQ(arena.num_blocks(), 1u);
+}
+
+TEST(Arena, RewindSurvivesBlockSpill) {
+  Arena arena(1024);
+  const auto m = arena.mark();
+  for (int i = 0; i < 16; ++i) (void)arena.make_span<double>(512);
+  arena.rewind(m);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  // Allocate again after the rewind: storage is reused, not leaked.
+  (void)arena.make_span<double>(32);
+  EXPECT_GT(arena.bytes_in_use(), 0u);
+}
+
+TEST(ArenaScope, UnwindRestoresWatermark) {
+  Arena arena;
+  (void)arena.make_span<int>(4);
+  const std::size_t before = arena.bytes_in_use();
+  {
+    ArenaScope scope(arena);
+    (void)scope.arena().make_span<double>(1000);
+    EXPECT_GT(arena.bytes_in_use(), before);
+  }
+  EXPECT_EQ(arena.bytes_in_use(), before);
+}
+
+TEST(ArenaVector, PushBackGrowsLikeVector) {
+  Arena arena;
+  ArenaVector<std::uint32_t> v(arena);
+  std::vector<std::uint32_t> ref;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    v.push_back(i * 3);
+    ref.push_back(i * 3);
+  }
+  ASSERT_EQ(v.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(v[i], ref[i]);
+}
+
+TEST(ArenaVector, ResizeValueInitializesNewTail) {
+  Arena arena;
+  ArenaVector<double> v(arena);
+  v.push_back(5.0);
+  v.resize(10);
+  ASSERT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[0], 5.0);
+  for (std::size_t i = 1; i < 10; ++i) EXPECT_EQ(v[i], 0.0);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(ArenaVector, AssignClearPopBack) {
+  Arena arena;
+  ArenaVector<int> v(arena);
+  v.assign(5, 9);
+  ASSERT_EQ(v.size(), 5u);
+  for (const int x : v) EXPECT_EQ(x, 9);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.back(), 9);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(ArenaVector, ReserveKeepsContentsAcrossGrowth) {
+  Arena arena;
+  ArenaVector<int> v(arena);
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  v.reserve(512);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], i);
+  for (int i = 4; i < 512; ++i) v.push_back(i);
+  for (int i = 0; i < 512; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(ScratchArena, IsStablePerThreadAndDistinctAcrossThreads) {
+  Arena* mine = &scratch_arena();
+  EXPECT_EQ(mine, &scratch_arena());
+  Arena* theirs = nullptr;
+  std::thread t([&] { theirs = &scratch_arena(); });
+  t.join();
+  EXPECT_NE(mine, theirs);
+}
+
+TEST(ScratchArena, ScopedUseLeavesNoResidue) {
+  Arena& arena = scratch_arena();
+  const std::size_t before = arena.bytes_in_use();
+  {
+    ArenaScope scope(arena);
+    (void)scope.arena().make_span<double>(4096);
+  }
+  EXPECT_EQ(arena.bytes_in_use(), before);
+}
+
+}  // namespace

@@ -293,6 +293,13 @@ void add_obs_options(ArgParser& args) {
                   "keep at most N trace events; drops are counted in the "
                   "trace.dropped_events metric (0 = unbounded)",
                   "N");
+  args.add_flag("trace-stream",
+                "stream trace events to the --trace file as they are "
+                "emitted instead of buffering the whole trace in memory "
+                "(for very large runs; makes --trace-cap unnecessary)");
+  args.add_uint64("trace-ring", 4096,
+                  "per-track ring buffer capacity used with --trace-stream",
+                  "N");
 }
 
 /// Applies --trace-cap before any events are emitted.
@@ -314,6 +321,44 @@ void write_trace_file(const ArgParser& args, const obs::Tracer& tracer) {
   }
   f << obs::to_chrome_json(tracer, opt);
 }
+
+/// Streaming trace pipeline: with --trace-stream, the --trace file is
+/// opened up front and a ChromeStreamWriter is attached to the tracer, so
+/// events hit disk as the run produces them and memory stays bounded by
+/// the ring buffers. Inactive (and write_trace_file applies) otherwise.
+class TraceStream {
+ public:
+  TraceStream(const ArgParser& args, obs::Tracer& tracer) : tracer_(tracer) {
+    if (args.str("trace").empty() || !args.flag("trace-stream")) return;
+    const auto ring = args.uint64("trace-ring");
+    if (ring == 0) {
+      throw core::InvalidArgument("--trace-ring must be at least 1");
+    }
+    file_.open(args.str("trace"), std::ios::binary);
+    if (!file_) {
+      throw core::InvalidArgument("cannot open --trace file '" +
+                                  args.str("trace") + "'");
+    }
+    obs::ChromeTraceOptions opt;
+    opt.normalize_timestamps = args.flag("trace-normalize");
+    writer_.emplace(file_, opt);
+    tracer.set_stream(&*writer_, static_cast<std::size_t>(ring));
+  }
+
+  bool active() const { return writer_.has_value(); }
+
+  /// Flushes the buffered tails and terminates the document.
+  void finish() {
+    if (!writer_) return;
+    tracer_.flush_stream();
+    writer_->finish(tracer_.dropped_events());
+  }
+
+ private:
+  obs::Tracer& tracer_;
+  std::ofstream file_;
+  std::optional<obs::ChromeStreamWriter> writer_;
+};
 
 // --- schedule / run -----------------------------------------------------
 
@@ -414,6 +459,7 @@ int cmd_run(int argc, char** argv) {
   obs::MetricsRegistry metrics;
   apply_trace_cap(args, tracer, args.flag("metrics") ? &metrics : nullptr);
   const bool tracing = !args.str("trace").empty();
+  TraceStream stream(args, tracer);
   std::optional<obs::ScopedContext> obs_ctx;
   if (tracing || args.flag("metrics")) {
     obs_ctx.emplace(tracing ? tracer.root() : obs::Track{},
@@ -423,7 +469,11 @@ int cmd_run(int argc, char** argv) {
   exp::RunArtifacts artifacts;
   const auto resp = session.run(req, &artifacts);
   obs_ctx.reset();
-  if (tracing) write_trace_file(args, tracer);
+  if (stream.active()) {
+    stream.finish();
+  } else if (tracing) {
+    write_trace_file(args, tracer);
+  }
   // Surface request-level failures exactly like the pre-session CLI:
   // as an error on stderr with exit status 1.
   if (!resp.ok()) throw core::Error(resp.message);
@@ -610,6 +660,8 @@ int cmd_campaign(int argc, char** argv) {
   args.add_str("suite-seeds", "2011",
                "comma-separated Table I suite seeds, one 54-DAG suite each",
                "LIST");
+  args.add_int("suite-tasks", 10,
+               "tasks per generated DAG in every suite (paper value: 10)");
   args.add_str("exp-seeds", "42",
                "comma-separated experiment seeds (cluster weather)", "LIST");
   args.add_str("out", "", "write the JSON document to FILE ('-' = stdout)",
@@ -627,10 +679,14 @@ int cmd_campaign(int argc, char** argv) {
   const auto lab = make_lab(args);
   const auto strategy = mapping_from_args(args);
 
+  const auto suite_tasks = static_cast<int>(args.integer("suite-tasks"));
+  if (suite_tasks < 1)
+    throw core::InvalidArgument("--suite-tasks must be >= 1");
+
   exp::CampaignSpec spec;
   for (const auto seed :
        core::split_csv_uint64(args.str("suite-seeds"), "--suite-seeds")) {
-    spec.suites.push_back(exp::SuiteSpec::table1(seed));
+    spec.suites.push_back(exp::SuiteSpec::table1(seed, suite_tasks));
   }
   for (const auto& name : core::split_csv(args.str("algos"))) {
     spec.algorithms.push_back(
@@ -654,6 +710,7 @@ int cmd_campaign(int argc, char** argv) {
   obs::MetricsRegistry metrics;
   apply_trace_cap(args, tracer, args.flag("metrics") ? &metrics : nullptr);
   const bool tracing = !args.str("trace").empty();
+  TraceStream stream(args, tracer);
   obs::BasicSink sink(tracing ? &tracer : nullptr,
                       args.flag("metrics") ? &metrics : nullptr,
                       std::move(on_progress));
@@ -662,7 +719,11 @@ int cmd_campaign(int argc, char** argv) {
 
   const exp::Campaign campaign(lab->rig());
   const auto result = campaign.run(spec, observed ? &sink : nullptr);
-  if (tracing) write_trace_file(args, tracer);
+  if (stream.active()) {
+    stream.finish();
+  } else if (tracing) {
+    write_trace_file(args, tracer);
+  }
 
   const auto write_doc = [](const std::string& path, const std::string& doc,
                             const char* what) {
