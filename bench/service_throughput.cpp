@@ -15,7 +15,10 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -147,6 +150,102 @@ void BM_ServiceRpcLoopback(benchmark::State& state) {
   accept_thread.join();
 }
 BENCHMARK(BM_ServiceRpcLoopback)->UseRealTime();
+
+/// The event-driven wire path under concurrent pipelined load: N
+/// persistent connections, each keeping up to `window` requests in
+/// flight. Latency is measured per request from its send to its recv,
+/// so pipelined p50/p99 include the queueing a real pipelining client
+/// observes. With window 1 and one connection this degenerates to the
+/// strict request/response tier (the "no p50 regression" guard); the
+/// deep tiers measure how much of the per-request socket overhead the
+/// event loop and the service micro-batcher amortize away.
+void BM_ServiceRpcPipelined(benchmark::State& state, int connections,
+                            std::size_t window, bool execute,
+                            const std::string& label) {
+  const auto pool = dag_pool(16);
+  exp::ServiceConfig cfg;
+  cfg.threads = bench::bench_threads();
+  // Provision admission for the offered load: the client-side window
+  // keeps connections*window requests in flight, and the next request
+  // of a window races the in-flight decrement of the one it replaces.
+  cfg.queue_limit = std::max<std::size_t>(
+      cfg.queue_limit, static_cast<std::size_t>(connections) * window * 2);
+  exp::Service service(lab(), cfg);
+  exp::RpcServer server(service);
+  std::thread loop_thread([&server] { server.serve(); });
+
+  std::vector<std::unique_ptr<exp::RpcClient>> clients;
+  clients.reserve(static_cast<std::size_t>(connections));
+  for (int c = 0; c < connections; ++c) {
+    clients.push_back(
+        std::make_unique<exp::RpcClient>("127.0.0.1", server.port()));
+  }
+
+  constexpr std::size_t kPerConn = 64;
+  const std::size_t batch = kPerConn * static_cast<std::size_t>(connections);
+  std::mutex lat_mutex;
+  std::vector<double> latencies;
+  std::atomic<bool> failed{false};
+
+  while (state.KeepRunningBatch(static_cast<std::int64_t>(batch))) {
+    std::vector<std::thread> workers;
+    workers.reserve(clients.size());
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      workers.emplace_back([&, c] {
+        auto& client = *clients[c];
+        std::vector<double> local;
+        local.reserve(kPerConn);
+        std::vector<Clock::time_point> sent_at(kPerConn);
+        std::size_t sent = 0;
+        for (std::size_t received = 0; received < kPerConn; ++received) {
+          while (sent < kPerConn && sent - received < window) {
+            sent_at[sent] = Clock::now();
+            client.send(
+                make_request(pool[(sent + c) % pool.size()], execute));
+            ++sent;
+          }
+          const auto resp = client.recv();
+          if (!resp.ok()) {
+            failed.store(true);
+            return;
+          }
+          local.push_back(
+              std::chrono::duration<double>(Clock::now() - sent_at[received])
+                  .count());
+        }
+        std::unique_lock lock(lat_mutex);
+        latencies.insert(latencies.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& w : workers) w.join();
+    if (failed.load()) {
+      state.SkipWithError("a pipelined request failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  note_latency(state, label, latencies);
+
+  server.shutdown();
+  loop_thread.join();
+}
+// The strict request/response tier over the event loop (guards p50
+// against the thread-per-connection server it replaced).
+BENCHMARK_CAPTURE(BM_ServiceRpcPipelined, single_sim, 1, 1, false,
+                  std::string("service.rpc_single_sim"))
+    ->UseRealTime();
+// Deep pipelining at 8 concurrent connections: the headline tier. With
+// execute=false the per-request compute is small enough that socket and
+// wakeup overhead dominates a strict client — this tier shows how much
+// of it pipelining amortizes.
+BENCHMARK_CAPTURE(BM_ServiceRpcPipelined, piped_sim, 8, 8, false,
+                  std::string("service.rpc_pipelined_sim"))
+    ->UseRealTime();
+// Same shape with emulated execution per request (compute-bound on
+// small runners; the pipelining win shrinks to the transport share).
+BENCHMARK_CAPTURE(BM_ServiceRpcPipelined, piped_exec, 8, 8, true,
+                  std::string("service.rpc_pipelined"))
+    ->UseRealTime();
 
 }  // namespace
 

@@ -5,8 +5,10 @@
 // RAII lifetimes, and one frame format — a 4-byte big-endian payload
 // length followed by that many payload bytes. Both sides bound frame
 // sizes, so a malformed or hostile peer cannot make a reader allocate
-// unbounded memory. Everything blocks; concurrency is the caller's job
-// (the rpc server spawns one handler thread per connection).
+// unbounded memory. The default calls block (the rpc client uses them
+// as-is); a socket switched to non-blocking mode via set_nonblocking()
+// exposes read_some/write_some for event loops built on net::Poller
+// (poller.hpp) — the rpc server multiplexes every connection that way.
 #pragma once
 
 #include <cstddef>
@@ -58,6 +60,24 @@ class Socket {
   /// first byte; throws core::Error on errors or EOF mid-read.
   bool read_exact(void* data, std::size_t n) const;
 
+  /// Switches the descriptor between blocking (the default) and
+  /// non-blocking mode. Non-blocking sockets drive the event-loop
+  /// primitives below; the blocking read/write calls above stay usable
+  /// only on blocking sockets.
+  void set_nonblocking(bool on) const;
+
+  /// Non-blocking read: the number of bytes read (> 0), 0 on EOF, or -1
+  /// when the operation would block (try again after poll readiness).
+  /// Throws core::Error on genuine failure. A reset peer (ECONNRESET)
+  /// reads as EOF: the stream is over either way.
+  std::ptrdiff_t read_some(void* data, std::size_t n) const;
+
+  /// Non-blocking write: the number of bytes accepted (possibly short),
+  /// or -1 when the socket buffer is full (try again after poll
+  /// readiness). Throws core::Error on failure, including a peer that
+  /// hung up (EPIPE).
+  std::ptrdiff_t write_some(const void* data, std::size_t n) const;
+
  private:
   int fd_ = -1;
 };
@@ -73,9 +93,22 @@ class Listener {
   /// The actually bound port (resolves port 0).
   std::uint16_t port() const { return port_; }
 
+  /// The listening descriptor, for registration with a net::Poller.
+  int fd() const { return sock_.fd(); }
+
+  /// Switches the listening socket's blocking mode (see Socket); a
+  /// non-blocking listener is the precondition for try_accept().
+  void set_nonblocking(bool on) const { sock_.set_nonblocking(on); }
+
   /// Blocks for one connection. Throws core::Error on failure — in
   /// particular after close() interrupted it from another thread.
   Socket accept() const;
+
+  /// Non-blocking accept (listener must be in non-blocking mode):
+  /// nullopt when no connection is pending, the accepted socket (with
+  /// TCP_NODELAY, still in blocking mode) otherwise. Throws core::Error
+  /// on real failure.
+  std::optional<Socket> try_accept() const;
 
   /// Interrupts a blocked accept() and stops accepting (idempotent,
   /// callable from any thread).

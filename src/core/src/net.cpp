@@ -1,6 +1,7 @@
 #include "mtsched/core/net.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -97,6 +98,39 @@ bool Socket::read_exact(void* data, std::size_t n) const {
   return true;
 }
 
+void Socket::set_nonblocking(bool on) const {
+  MTSCHED_REQUIRE(valid(), "set_nonblocking on an invalid socket");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("cannot read socket flags");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, want) < 0) {
+    throw_errno("cannot change socket blocking mode");
+  }
+}
+
+std::ptrdiff_t Socket::read_some(void* data, std::size_t n) const {
+  MTSCHED_REQUIRE(valid(), "read on an invalid socket");
+  while (true) {
+    const ssize_t r = ::recv(fd_, data, n, 0);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == ECONNRESET) return 0;  // reset reads as end of stream
+    throw_errno("socket read failed");
+  }
+}
+
+std::ptrdiff_t Socket::write_some(const void* data, std::size_t n) const {
+  MTSCHED_REQUIRE(valid(), "write on an invalid socket");
+  while (true) {
+    const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL);
+    if (w >= 0) return w;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw_errno("socket write failed");
+  }
+}
+
 Listener::Listener(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("cannot create listening socket");
@@ -135,6 +169,25 @@ Socket Listener::accept() const {
       return Socket(fd);
     }
     if (errno == EINTR) continue;
+    throw_errno("accept failed");
+  }
+}
+
+std::optional<Socket> Listener::try_accept() const {
+  MTSCHED_REQUIRE(sock_.valid(), "accept on a closed listener");
+  while (true) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    // ECONNABORTED: the peer gave up between SYN and accept — not an
+    // error for the listener, just nothing to hand out right now.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return std::nullopt;
+    }
     throw_errno("accept failed");
   }
 }

@@ -151,18 +151,6 @@ struct CampaignMetrics {
   std::string describe() const;
 };
 
-/// Progress snapshot passed to the deprecated legacy callback after every
-/// finished job. The callback runs under the runner's bookkeeping lock:
-/// keep it cheap and do not call back into the campaign. Observe
-/// campaigns through obs::Sink instead (see Campaign::run).
-struct CampaignProgress {
-  std::size_t jobs_done = 0;
-  std::size_t jobs_total = 0;
-  std::size_t cache_hits = 0;
-  double elapsed_seconds = 0.0;
-};
-using ProgressFn = std::function<void(const CampaignProgress&)>;
-
 struct CampaignResult {
   std::vector<RunRecord> records;  ///< spec expansion order
   CampaignMetrics metrics;
@@ -204,16 +192,6 @@ class Campaign {
   ///   * sink->progress() pulses after every finished job.
   CampaignResult run(const CampaignSpec& spec,
                      obs::Sink* sink = nullptr) const;
-
-  /// Legacy adapter: wraps `progress` in an internal sink. This is the
-  /// one compatibility shim kept for out-of-tree callers; everything
-  /// in-tree observes campaigns through obs::Sink. Scheduled for removal
-  /// once downstream scripts have migrated.
-  [[deprecated(
-      "observe campaigns through obs::Sink (run(spec, sink)); the "
-      "ProgressFn adapter is a compatibility shim")]]
-  CampaignResult run(const CampaignSpec& spec,
-                     const ProgressFn& progress) const;
 
  private:
   const tgrid::TGridEmulator& rig_;

@@ -189,6 +189,39 @@ class Session {
       const std::vector<ScheduleRequest>& reqs,
       std::vector<RunArtifacts>* artifacts = nullptr) const;
 
+  /// The incremental face of run_batch, for callers whose batch arrives
+  /// one request at a time (the service's dynamic micro-batcher): every
+  /// run() through one scope shares the scope's per-(platform, model)
+  /// sched::CostCurveTables exactly like one run_batch call, with the
+  /// same bit-identity guarantee against Session::run. A scope belongs
+  /// to one thread; create one per batch and let it die with the batch
+  /// (tables reference the session's labs and models).
+  class BatchScope {
+   public:
+    explicit BatchScope(const Session& session) : session_(session) {}
+
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+
+    /// Serves one request of the batch (see Session::run).
+    ScheduleResponse run(const ScheduleRequest& req,
+                         RunArtifacts* artifacts = nullptr);
+
+   private:
+    /// One curve table per (platform lab, resolved model) pair seen so
+    /// far; a handful of entries, so identity by linear scan. The
+    /// adapter is heap-held because the table keeps a reference to it.
+    struct TableEntry {
+      const Lab* lab;
+      const models::CostModel* model;
+      std::unique_ptr<models::SchedCostAdapter> adapter;
+      std::unique_ptr<sched::CostCurveTable> table;
+    };
+
+    const Session& session_;
+    std::vector<TableEntry> tables_;
+  };
+
   const Lab& lab() const { return lab_; }
 
   /// Cumulative schedule-memo cache statistics across all requests.

@@ -26,30 +26,6 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// Sink that turns obs::Progress pulses back into the legacy
-/// CampaignProgress callback. Holds its own registry so the adapter can
-/// recover the cache-hit count the old snapshot carried.
-class ProgressAdapterSink final : public obs::Sink {
- public:
-  explicit ProgressAdapterSink(const ProgressFn& fn)
-      : fn_(fn), hits_(&metrics_.counter("campaign.cache_hits")) {}
-
-  obs::MetricsRegistry* metrics() override { return &metrics_; }
-  void progress(const obs::Progress& p) override {
-    CampaignProgress snapshot;
-    snapshot.jobs_done = p.done;
-    snapshot.jobs_total = p.total;
-    snapshot.cache_hits = hits_->value();
-    snapshot.elapsed_seconds = p.elapsed_seconds;
-    fn_(snapshot);
-  }
-
- private:
-  const ProgressFn& fn_;
-  obs::MetricsRegistry metrics_;
-  obs::Counter* hits_;
-};
-
 }  // namespace
 
 ModelRef lab_model(const Lab& lab, models::CostModelKind kind) {
@@ -181,13 +157,6 @@ CaseStudyResult CampaignResult::case_study(const std::string& model_label,
 }
 
 Campaign::Campaign(const tgrid::TGridEmulator& rig) : rig_(rig) {}
-
-CampaignResult Campaign::run(const CampaignSpec& spec,
-                             const ProgressFn& progress) const {
-  if (!progress) return run(spec, static_cast<obs::Sink*>(nullptr));
-  ProgressAdapterSink sink(progress);
-  return run(spec, &sink);
-}
 
 CampaignResult Campaign::run(const CampaignSpec& spec,
                              obs::Sink* sink) const {

@@ -125,52 +125,47 @@ ScheduleResponse Session::run(const ScheduleRequest& req,
 std::vector<ScheduleResponse> Session::run_batch(
     const std::vector<ScheduleRequest>& reqs,
     std::vector<RunArtifacts>* artifacts) const {
-  // One curve table per (platform lab, resolved model) pair seen in the
-  // batch; a handful of entries, so identity by linear scan. The adapter
-  // is heap-held because the table keeps a reference to it.
-  struct TableEntry {
-    const Lab* lab;
-    const models::CostModel* model;
-    std::unique_ptr<models::SchedCostAdapter> adapter;
-    std::unique_ptr<sched::CostCurveTable> table;
-  };
-  std::vector<TableEntry> tables;
-
+  BatchScope scope(*this);
   if (artifacts != nullptr) artifacts->assign(reqs.size(), {});
   std::vector<ScheduleResponse> out;
   out.reserve(reqs.size());
   for (std::size_t i = 0; i < reqs.size(); ++i) {
-    RunArtifacts* art = artifacts != nullptr ? &(*artifacts)[i] : nullptr;
-    const sched::SchedCost* shared = nullptr;
-    try {
-      const Lab& lab = resolve_lab(reqs[i].platform);
-      const models::CostModel& model = lab.model(reqs[i].model);
-      TableEntry* entry = nullptr;
-      for (auto& t : tables) {
-        if (t.lab == &lab && t.model == &model) {
-          entry = &t;
-          break;
-        }
-      }
-      if (entry == nullptr) {
-        TableEntry e;
-        e.lab = &lab;
-        e.model = &model;
-        e.adapter = std::make_unique<models::SchedCostAdapter>(model);
-        e.table = std::make_unique<sched::CostCurveTable>(
-            *e.adapter, lab.spec().num_nodes);
-        tables.push_back(std::move(e));
-        entry = &tables.back();
-      }
-      shared = entry->table.get();
-    } catch (...) {
-      // Resolution failed; serve() re-resolves and reports the error as
-      // this request's response without touching the rest of the batch.
-      shared = nullptr;
-    }
-    out.push_back(serve(reqs[i], art, shared));
+    out.push_back(
+        scope.run(reqs[i], artifacts != nullptr ? &(*artifacts)[i] : nullptr));
   }
   return out;
+}
+
+ScheduleResponse Session::BatchScope::run(const ScheduleRequest& req,
+                                          RunArtifacts* artifacts) {
+  const sched::SchedCost* shared = nullptr;
+  try {
+    const Lab& lab = session_.resolve_lab(req.platform);
+    const models::CostModel& model = lab.model(req.model);
+    TableEntry* entry = nullptr;
+    for (auto& t : tables_) {
+      if (t.lab == &lab && t.model == &model) {
+        entry = &t;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      TableEntry e;
+      e.lab = &lab;
+      e.model = &model;
+      e.adapter = std::make_unique<models::SchedCostAdapter>(model);
+      e.table = std::make_unique<sched::CostCurveTable>(*e.adapter,
+                                                        lab.spec().num_nodes);
+      tables_.push_back(std::move(e));
+      entry = &tables_.back();
+    }
+    shared = entry->table.get();
+  } catch (...) {
+    // Resolution failed; serve() re-resolves and reports the error as
+    // this request's response without touching the rest of the batch.
+    shared = nullptr;
+  }
+  return session_.serve(req, artifacts, shared);
 }
 
 ScheduleResponse Session::serve(const ScheduleRequest& req,

@@ -1,6 +1,6 @@
 // Tests for campaign observability: the sink-based run API, trace
 // determinism across thread counts, the Chrome JSON round-trip, metric
-// counters, the legacy progress adapter, and threads = 0.
+// counters, progress pulses, and threads = 0.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -168,28 +168,37 @@ TEST(CampaignObs, SinkObservationDoesNotChangeResults) {
   EXPECT_EQ(exp::to_csv(plain.records), exp::to_csv(observed.records));
 }
 
-TEST(CampaignObs, LegacyProgressCallbackStillWorks) {
+namespace {
+
+/// Records every progress pulse the campaign emits.
+class ProgressRecorderSink final : public obs::Sink {
+ public:
+  obs::MetricsRegistry* metrics() override { return &metrics_; }
+  void progress(const obs::Progress& p) override { pulses.push_back(p); }
+
+  std::vector<obs::Progress> pulses;
+
+ private:
+  obs::MetricsRegistry metrics_;
+};
+
+}  // namespace
+
+TEST(CampaignObs, ProgressPulsesArriveThroughTheSink) {
   auto spec = mini_spec();
   spec.threads = 2;
-  std::vector<exp::CampaignProgress> pulses;
-  const exp::ProgressFn progress = [&](const exp::CampaignProgress& p) {
-    pulses.push_back(p);
-  };
-  // The ProgressFn overload is a deprecated compatibility shim; this test
-  // is intentionally its last in-tree caller.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto result = exp::Campaign(lab().rig()).run(spec, progress);
-#pragma GCC diagnostic pop
+  ProgressRecorderSink sink;
+  const auto result = exp::Campaign(lab().rig()).run(spec, &sink);
 
-  ASSERT_EQ(pulses.size(), result.metrics.jobs);
-  EXPECT_EQ(pulses.back().jobs_done, result.metrics.jobs);
-  EXPECT_EQ(pulses.back().jobs_total, result.metrics.jobs);
-  EXPECT_EQ(pulses.back().cache_hits, result.metrics.cache_hits);
-  // done counts are a permutation of 1..jobs; within the callback they
-  // arrive strictly increasing (the bookkeeping lock serializes them).
-  for (std::size_t i = 1; i < pulses.size(); ++i) {
-    EXPECT_EQ(pulses[i].jobs_done, pulses[i - 1].jobs_done + 1);
+  ASSERT_EQ(sink.pulses.size(), result.metrics.jobs);
+  EXPECT_EQ(sink.pulses.back().done, result.metrics.jobs);
+  EXPECT_EQ(sink.pulses.back().total, result.metrics.jobs);
+  EXPECT_EQ(sink.metrics()->counter("campaign.cache_hits").value(),
+            result.metrics.cache_hits);
+  // done counts arrive strictly increasing (the bookkeeping lock
+  // serializes the pulses).
+  for (std::size_t i = 1; i < sink.pulses.size(); ++i) {
+    EXPECT_EQ(sink.pulses[i].done, sink.pulses[i - 1].done + 1);
   }
 }
 

@@ -135,4 +135,81 @@ TEST(NetListener, CloseInterruptsBlockedAccept) {
   interrupter.join();
 }
 
+TEST(NetNonblocking, ReadSomeReportsWouldBlockDataAndEof) {
+  Loopback lo;
+  lo.server.set_nonblocking(true);
+  char buf[16];
+  // Nothing sent yet: would block, not EOF.
+  EXPECT_EQ(lo.server.read_some(buf, sizeof(buf)), -1);
+
+  lo.client.write_all("hello", 5);
+  std::string got;
+  while (got.size() < 5) {
+    const auto r = lo.server.read_some(buf, sizeof(buf));
+    if (r > 0) got.append(buf, static_cast<std::size_t>(r));
+  }
+  EXPECT_EQ(got, "hello");
+
+  lo.client.close();
+  // Drain until the close is visible (it may lag the last payload byte).
+  std::ptrdiff_t r;
+  do {
+    r = lo.server.read_some(buf, sizeof(buf));
+  } while (r != 0);
+  EXPECT_EQ(r, 0);
+}
+
+TEST(NetNonblocking, WriteSomeFillsTheBufferThenWouldBlocks) {
+  Loopback lo;
+  lo.server.set_nonblocking(true);
+  // The peer never reads: keep writing until the kernel buffer is full
+  // and write_some reports would-block instead of blocking the thread.
+  const std::string chunk(64 * 1024, 'x');
+  std::size_t written = 0;
+  std::ptrdiff_t w;
+  do {
+    w = lo.server.write_some(chunk.data(), chunk.size());
+    if (w > 0) written += static_cast<std::size_t>(w);
+  } while (w != -1);
+  EXPECT_GT(written, 0u);
+
+  // Everything reported as written is really in flight: the reader can
+  // drain exactly that many bytes after the writer stops.
+  std::size_t drained = 0;
+  char buf[64 * 1024];
+  lo.server.close();
+  lo.client.set_nonblocking(true);
+  while (true) {
+    const auto r = lo.client.read_some(buf, sizeof(buf));
+    if (r == 0) break;
+    if (r > 0) {
+      drained += static_cast<std::size_t>(r);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(drained, written);
+}
+
+TEST(NetListener, TryAcceptIsNonBlocking) {
+  Listener listener(0);
+  listener.set_nonblocking(true);
+  EXPECT_FALSE(listener.try_accept().has_value());
+
+  const Socket client = connect_to("127.0.0.1", listener.port());
+  // The handshake completes asynchronously; poll briefly.
+  std::optional<Socket> conn;
+  for (int i = 0; i < 200 && !conn.has_value(); ++i) {
+    conn = listener.try_accept();
+    if (!conn.has_value()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  ASSERT_TRUE(conn.has_value());
+  client.write_all("ab", 2);
+  char buf[2];
+  ASSERT_TRUE(conn->read_exact(buf, 2));
+  EXPECT_EQ(std::string(buf, 2), "ab");
+}
+
 }  // namespace

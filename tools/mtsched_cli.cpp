@@ -557,7 +557,11 @@ int cmd_serve(int argc, char** argv) {
   std::cout << "mtsched serve: shut down after " << stats.requests
             << " requests on " << stats.connections << " connections ("
             << stats.rejected << " rejected, " << stats.protocol_errors
-            << " protocol errors)\n";
+            << " protocol errors)\n"
+            << "mtsched serve: " << stats.batched_requests
+            << " requests in " << stats.batches
+            << " micro-batches (largest " << stats.max_batch << "), "
+            << stats.backpressure_pauses << " backpressure pauses\n";
   if (args.flag("metrics")) std::cout << metrics.render();
   return 0;
 }
@@ -582,6 +586,12 @@ int cmd_request(int argc, char** argv) {
                "NAME");
   add_dag_input(args);
   args.add_uint64("exp-seed", 42, "experiment seed (cluster weather)");
+  args.add_int("count", 1,
+               "number of schedule requests to send; request i uses "
+               "exp-seed + i and the reports print in request order");
+  args.add_int("pipeline", 1,
+               "requests kept in flight on the connection before reading "
+               "responses (1 = strict request/response round trips)");
   args.add_flag("ping", "probe daemon liveness instead of scheduling");
   args.add_flag("shutdown",
                 "ask the daemon to shut down instead of scheduling");
@@ -605,12 +615,28 @@ int cmd_request(int argc, char** argv) {
   }
   auto req = request_from_args(args);
   req.platform = args.str("platform");
-  const auto resp = client.call(req);
-  if (!resp.ok()) {
-    throw core::Error(std::string(exp::status_name(resp.status)) + ": " +
-                      resp.message);
+  const auto count =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.integer("count")));
+  const auto window = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, args.integer("pipeline")));
+  const std::uint64_t seed0 = req.exp_seed;
+  // Sliding window of pipelined requests: keep up to `window` in flight,
+  // print each response as it comes back (the server answers in request
+  // order, so the reports line up with the seeds).
+  std::size_t sent = 0;
+  for (std::size_t received = 0; received < count; ++received) {
+    while (sent < count && sent - received < window) {
+      req.exp_seed = seed0 + sent;
+      client.send(req);
+      ++sent;
+    }
+    const auto resp = client.recv();
+    if (!resp.ok()) {
+      throw core::Error(std::string(exp::status_name(resp.status)) + ": " +
+                        resp.message);
+    }
+    print_run_report(resp);
   }
-  print_run_report(resp);
   return 0;
 }
 
