@@ -188,6 +188,15 @@ std::optional<Socket> Listener::try_accept() const {
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
       return std::nullopt;
     }
+    // Transient resource exhaustion (process/system fd limits, kernel
+    // buffers): shed this accept rather than throwing — a throw would
+    // unwind the caller's whole serving loop and kill every established
+    // connection over one burst. The pending connection stays in the
+    // listen backlog and is handed out once resources free up.
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      return std::nullopt;
+    }
     throw_errno("accept failed");
   }
 }

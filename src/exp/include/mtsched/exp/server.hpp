@@ -216,6 +216,13 @@ class RpcClient {
   /// server closes before delivering one.
   ScheduleResponse recv();
 
+  /// True when response bytes are already waiting in the socket buffer,
+  /// without blocking. Lets a pipelining caller drain what the server
+  /// has delivered before blocking in the next send() — sitting on
+  /// unread responses feeds the server's write backpressure, which
+  /// eventually parks reads on this connection.
+  bool response_ready() const;
+
   /// Liveness probe (Ok/"pong" on a healthy server).
   ScheduleResponse ping();
 

@@ -1,5 +1,8 @@
 #include "mtsched/exp/server.hpp"
 
+#include <poll.h>
+
+#include <cerrno>
 #include <thread>
 #include <utility>
 
@@ -79,7 +82,12 @@ void RpcServer::serve() {
         break;
       }
 
-      const auto& events = poller_.wait(-1);
+      // While stopping, wait with a finite timeout: a done-callback
+      // wakes the loop *before* decrementing dispatched_ (see
+      // handle_frame), so the loop can consume that wake, still observe
+      // the old count and go back to sleep with no further wake coming.
+      // The periodic re-check closes that window.
+      const auto& events = poller_.wait(stopping() ? 10 : -1);
       for (const auto& ev : events) {
         if (listening && ev.fd == listener_.fd()) {
           accept_new();
@@ -89,7 +97,17 @@ void RpcServer::serve() {
         if (it == conns_.end()) continue;
         Conn& c = it->second;
         if (ev.error) {
-          c.dead = true;
+          // POLLERR/POLLHUP often arrives alongside the peer's final
+          // bytes (pipeline-then-close): honor readable first so the
+          // on_eof drain path can best-effort deliver the responses
+          // still owed; only a bare error kills the connection
+          // outright. Writes to a truly gone peer fail inside pump()
+          // and mark the connection dead there.
+          if (ev.readable) {
+            on_readable(c);
+          } else {
+            c.dead = true;
+          }
           continue;
         }
         if (ev.writable) {
@@ -291,10 +309,15 @@ void RpcServer::handle_frame(Conn& c, const std::string& payload) {
           std::unique_lock lock(completions_mutex_);
           completions_.push_back(Completion{conn_id, seq, std::move(bytes)});
         }
-        // Decrement before waking: a loop that sees dispatched_ == 0
-        // after draining completions_ knows this callback is done.
-        dispatched_.fetch_sub(1, std::memory_order_acq_rel);
+        // Wake first, decrement last: dispatched_ reaching zero is the
+        // licence for serve() to exit and for ~RpcServer to return, so
+        // the decrement must be this callback's final touch of any
+        // server member (a wake after it could hit a freed poller). The
+        // loop tolerates the flip side — a wake consumed before the
+        // decrement lands — by polling with a finite timeout while
+        // stopping instead of blocking forever.
         poller_.wake();
+        dispatched_.fetch_sub(1, std::memory_order_acq_rel);
       });
   if (!admitted) {
     dispatched_.fetch_sub(1, std::memory_order_acq_rel);
@@ -433,6 +456,17 @@ ScheduleResponse RpcClient::recv() {
     throw core::Error("rpc server closed the connection before replying");
   }
   return parse_response(*reply);
+}
+
+bool RpcClient::response_ready() const {
+  pollfd p{};
+  p.fd = sock_.fd();
+  p.events = POLLIN;
+  while (true) {
+    const int r = ::poll(&p, 1, 0);
+    if (r >= 0) return r > 0;
+    if (errno != EINTR) return false;  // recv() will surface the error
+  }
 }
 
 ScheduleResponse RpcClient::ping() { return roundtrip(encode_ping()); }

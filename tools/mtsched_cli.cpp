@@ -591,7 +591,8 @@ int cmd_request(int argc, char** argv) {
                "exp-seed + i and the reports print in request order");
   args.add_int("pipeline", 1,
                "requests kept in flight on the connection before reading "
-               "responses (1 = strict request/response round trips)");
+               "responses (1 = strict request/response round trips; "
+               "clamped to the server's per-connection in-flight budget)");
   args.add_flag("ping", "probe daemon liveness instead of scheduling");
   args.add_flag("shutdown",
                 "ask the daemon to shut down instead of scheduling");
@@ -617,25 +618,39 @@ int cmd_request(int argc, char** argv) {
   req.platform = args.str("platform");
   const auto count =
       static_cast<std::size_t>(std::max<std::int64_t>(1, args.integer("count")));
-  const auto window = static_cast<std::size_t>(
-      std::max<std::int64_t>(1, args.integer("pipeline")));
+  // The server parks reads on a connection once max_conn_inflight
+  // responses are owed; a window beyond that budget would leave this
+  // client blocked in send() against a server that has stopped reading.
+  const auto window = std::min(
+      exp::RpcServerConfig{}.max_conn_inflight,
+      static_cast<std::size_t>(
+          std::max<std::int64_t>(1, args.integer("pipeline"))));
   const std::uint64_t seed0 = req.exp_seed;
   // Sliding window of pipelined requests: keep up to `window` in flight,
   // print each response as it comes back (the server answers in request
   // order, so the reports line up with the seeds).
   std::size_t sent = 0;
-  for (std::size_t received = 0; received < count; ++received) {
-    while (sent < count && sent - received < window) {
-      req.exp_seed = seed0 + sent;
-      client.send(req);
-      ++sent;
-    }
+  std::size_t received = 0;
+  const auto consume_one = [&] {
     const auto resp = client.recv();
     if (!resp.ok()) {
       throw core::Error(std::string(exp::status_name(resp.status)) + ": " +
                         resp.message);
     }
     print_run_report(resp);
+    ++received;
+  };
+  while (received < count) {
+    while (sent < count && sent - received < window) {
+      // Drain responses the server already delivered before blocking in
+      // send(): unread responses fill the kernel buffers, feed the
+      // server's write backpressure and can stall the whole window.
+      while (received < sent && client.response_ready()) consume_one();
+      req.exp_seed = seed0 + sent;
+      client.send(req);
+      ++sent;
+    }
+    consume_one();
   }
   return 0;
 }
